@@ -1,0 +1,38 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables/figures
+and prints the reproduced rows (run with ``-s`` to see them).  Heavy
+end-to-end sweeps run exactly once per benchmark (``pedantic`` with one
+round) — the timing is informative, the *printed series* is the artifact.
+
+Scale is selected with ``REPRO_BENCH_SCALE`` = ``quick`` (default) |
+``paper`` | ``smoke``; EXPERIMENTS.md records which scale produced the
+committed numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+def bench_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return {
+        "paper": ExperimentScale.paper,
+        "quick": ExperimentScale.quick,
+        "smoke": ExperimentScale.smoke,
+    }[name]()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

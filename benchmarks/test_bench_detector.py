@@ -1,0 +1,25 @@
+"""Benchmark: the TTL/threshold tuning ablation (Sec IV-A discussion)."""
+
+from repro.core import TimeoutFailureDetector
+from repro.experiments import format_detector_ablation, run_detector_ablation
+
+
+def test_detector_tuning_table(benchmark):
+    """False positives vs detection delay across (TTL, threshold)."""
+    result = benchmark.pedantic(run_detector_ablation, rounds=1, iterations=1)
+    print()
+    print(format_detector_ablation(result))
+    # The published guidance: TTL above the latency tail → no false
+    # positives at bounded delay.
+    safe = [p for p in result.points if p.ttl >= 2.0 and p.threshold >= 3]
+    assert all(p.false_positive_rate == 0.0 for p in safe)
+
+
+def test_detector_hot_path(benchmark):
+    """Micro: the per-RPC success path (runs on every cache read)."""
+    det = TimeoutFailureDetector(ttl=1.0, threshold=3)
+
+    def record():
+        det.record_success("node-5")
+
+    benchmark(record)

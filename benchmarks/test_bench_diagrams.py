@@ -1,0 +1,38 @@
+"""Benchmarks regenerating the qualitative paper elements.
+
+Table II (hardware provenance), Fig 3 (the executed fault-tolerance
+sequences), and Fig 4 (the ring-mechanism illustration) — completing
+one-bench-per-table/figure coverage of the paper.
+"""
+
+from repro.experiments import (
+    format_fig3,
+    format_fig4,
+    format_table2,
+    run_fig3,
+    run_fig4,
+    run_table2,
+)
+
+
+def test_table2_specs(benchmark):
+    rows = benchmark(run_table2)
+    print()
+    print(format_table2(rows))
+    assert any("NVMe" in r.attribute or "storage" in r.attribute for r in rows)
+
+
+def test_fig3_sequences(benchmark):
+    result = benchmark.pedantic(run_fig3, kwargs=dict(seed=1), rounds=1, iterations=1)
+    print()
+    print(format_fig3(result))
+    # Fig 3(a): redirection happens, placement untouched; Fig 3(b): re-ring.
+    assert any(e.step == "redirect" for e in result.pfs_redirect)
+    assert any(e.step == "re-ring" for e in result.elastic_recache)
+
+
+def test_fig4_ring_diagram(benchmark):
+    result = benchmark(run_fig4)
+    print()
+    print(format_fig4(result))
+    assert result.minimal_movement()

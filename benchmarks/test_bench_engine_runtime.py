@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the substrates: DES throughput, runtime latency.
+
+These are not paper figures; they document the costs that size every
+simulated experiment (events/second) and the real runtime's cache-hit
+latency floor, so regressions in either are caught.
+"""
+
+import pytest
+
+from repro.runtime import LocalCluster
+from repro.sim import Environment, SharedBandwidth
+
+
+class TestEngine:
+    def test_event_throughput_10k_timeouts(self, benchmark):
+        def run():
+            env = Environment()
+
+            def ticker():
+                for _ in range(10_000):
+                    yield env.timeout(0.001)
+
+            env.process(ticker())
+            env.run()
+            return env.now
+
+        t = benchmark(run)
+        assert t == pytest.approx(10.0)
+
+    def test_process_spawn_throughput(self, benchmark):
+        def run():
+            env = Environment()
+
+            def worker():
+                yield env.timeout(1.0)
+
+            for _ in range(2_000):
+                env.process(worker())
+            env.run()
+
+        benchmark(run)
+
+    def test_fluid_link_churn(self, benchmark):
+        """SharedBandwidth with continuous arrivals/departures."""
+
+        def run():
+            env = Environment()
+            link = SharedBandwidth(env, rate=1000.0)
+
+            def sender(delay):
+                yield env.timeout(delay)
+                yield link.transfer(100.0)
+
+            for i in range(500):
+                env.process(sender(i * 0.01))
+            env.run()
+
+        benchmark(run)
+
+
+class TestRealRuntime:
+    @pytest.fixture(scope="class")
+    def warm_cluster(self):
+        with LocalCluster(n_servers=2, policy="nvme", ttl=1.0) as c:
+            paths = c.populate(n_files=8, file_bytes=65536)
+            client = c.client()
+            for p in paths:
+                client.read(p)
+            import time
+
+            time.sleep(0.2)  # let data movers land
+            yield c, client
+
+    def test_cache_hit_latency(self, benchmark, warm_cluster):
+        """Socket round-trip + NVMe-dir read for a warm 64 KiB sample."""
+        cluster, client = warm_cluster
+        data = benchmark(client.read, cluster.paths[0])
+        assert len(data) == 65536
+
+    def test_pfs_direct_latency(self, benchmark, warm_cluster):
+        """Direct shared-dir read (the redirect path's floor)."""
+        cluster, _ = warm_cluster
+        data = benchmark(cluster.pfs.read, cluster.paths[1])
+        assert len(data) == 65536

@@ -1,0 +1,80 @@
+"""Benchmarks for the extension studies: replication, time limits, prefetch.
+
+These go beyond the paper's published figures into the design space its
+discussion opens (Sec IV-A.2's time-limit risk; the single-copy cache's
+obvious replication extension; pipelined loaders hiding the cold epoch).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    format_replication_ablation,
+    format_timelimit_ablation,
+    run_replication_ablation,
+    run_timelimit_ablation,
+)
+
+
+def test_replication_ablation(benchmark, scale):
+    result = run_once(benchmark, run_replication_ablation, scale=scale)
+    print()
+    print(format_replication_ablation(result))
+    for row in result.rows:
+        assert row.replicated <= row.single_copy * 1.02
+        assert row.replicated_pfs_files < row.single_pfs_files
+
+
+def test_timelimit_ablation(benchmark, scale):
+    result = run_once(benchmark, run_timelimit_ablation, scale=scale, trials=8)
+    print()
+    print(format_timelimit_ablation(result))
+    for row in result.rows:
+        assert row.violation_rate["FT w/ PFS"] >= row.violation_rate["FT w/ NVMe"] - 1e-9
+
+
+def test_prefetch_pipeline_cold_epoch(benchmark):
+    """Cold-epoch cost with vs without the prefetch pipeline (fluid)."""
+    from repro.cluster.config import frontier
+    from repro.dl import TrainingConfig
+    from repro.dl.cosmoflow import cosmoflow_dataset
+    from repro.dl.fastsim import FluidTrainingModel
+
+    ds = cosmoflow_dataset(scale=1 / 32)
+
+    def run():
+        plain = FluidTrainingModel(
+            frontier(64), ds, "FT w/ NVMe", TrainingConfig(epochs=2, batch_size=8), 0, seed=1
+        ).run()
+        piped = FluidTrainingModel(
+            frontier(64),
+            ds,
+            "FT w/ NVMe",
+            TrainingConfig(epochs=2, batch_size=8, pipelined_loader=True),
+            0,
+            seed=1,
+        ).run()
+        return plain, piped
+
+    plain, piped = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"cold epoch: synchronous {plain.epoch_times[0] / 60:.2f} min vs "
+          f"pipelined {piped.epoch_times[0] / 60:.2f} min "
+          f"({100 * (1 - piped.epoch_times[0] / plain.epoch_times[0]):.0f}% hidden)")
+    assert piped.epoch_times[0] < plain.epoch_times[0]
+
+
+def test_trace_overhead(benchmark):
+    """Micro: DES run with tracing on (the observability tax)."""
+    from repro.cluster import Cluster
+    from repro.dl import Dataset, TrainingConfig, TrainingJob
+
+    ds = Dataset(name="t", n_samples=128, sample_bytes=1e6)
+
+    def run():
+        cluster = Cluster.frontier(n_nodes=4, seed=1)
+        job = TrainingJob(cluster, ds, "FT w/ NVMe", TrainingConfig(epochs=2, batch_size=8), trace=True)
+        job.run()
+        return len(job.tracer)
+
+    spans = benchmark(run)
+    assert spans > 0

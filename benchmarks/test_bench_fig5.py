@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 5: end-to-end training time.
+
+(a) no failures, (b) five random single-node failures after epoch 1 —
+NoFT / FT w/ PFS / FT w/ NVMe across the node sweep, printed with the
+paper's published percentages beside the reproduced ones.
+
+Runs the fluid model (cross-validated against the DES in the test suite).
+``REPRO_BENCH_SCALE=paper`` reproduces the full published parameters.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_fig5_end_to_end(benchmark, scale):
+    result = run_once(benchmark, run_fig5, scale=scale, model="fluid")
+    print()
+    print(format_fig5(result))
+    # Published shape: failures cost time, and hash-ring recaching beats
+    # PFS redirection at every node count.
+    for row in result.rows:
+        assert row.withfail["FT w/ NVMe"] > row.nofail["FT w/ NVMe"]
+        assert row.withfail["FT w/ NVMe"] < row.withfail["FT w/ PFS"]
+    # Fig 5(a): strong scaling — more nodes, less time.
+    nofail = [r.nofail["FT w/ NVMe"] for r in result.rows]
+    assert nofail[0] > nofail[-1]
+
+
+def test_fig5_single_point_des(benchmark):
+    """One DES point (64-node class, scaled dataset): the event-level twin."""
+    from repro.experiments import ExperimentScale
+
+    tiny = ExperimentScale(
+        name="des-point", dataset_scale=1 / 512, node_counts=(16,), n_failures=2, repeats=1
+    )
+    result = run_once(benchmark, run_fig5, scale=tiny, model="des")
+    row = result.rows[0]
+    print()
+    print(format_fig5(result))
+    assert row.withfail["FT w/ NVMe"] > row.nofail["FT w/ NVMe"]

@@ -1,0 +1,106 @@
+"""Placement micro-benchmarks and the Sec IV-B strategy ablation.
+
+Covers the design choices DESIGN.md calls out: vnode count (ring size vs
+cost), array vs ``std::map``-style ring, and movement cost per strategy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HashRing,
+    RendezvousHash,
+    StaticHash,
+    TreeHashRing,
+    bulk_hash64,
+)
+from repro.experiments import format_placement_ablation, run_placement_ablation
+
+KEYS_100K = bulk_hash64(np.arange(100_000))
+
+
+class TestRingOperations:
+    def test_ring_build_1024x100(self, benchmark):
+        """Ring construction at the paper's production scale."""
+        ring = benchmark(lambda: HashRing(nodes=range(1024), vnodes_per_node=100))
+        assert ring.ring_size == 102_400
+
+    @pytest.mark.parametrize("vnodes", [10, 100, 1000])
+    def test_ring_build_vs_vnode_count(self, benchmark, vnodes):
+        """Fig 6(b) trade-off: build cost grows with the vnode ratio."""
+        ring = benchmark(lambda: HashRing(nodes=range(128), vnodes_per_node=vnodes))
+        assert ring.ring_size == 128 * vnodes
+
+    def test_scalar_lookup(self, benchmark):
+        ring = HashRing(nodes=range(1024), vnodes_per_node=100)
+        owner = benchmark(ring.lookup, "/data/train/sample_00042.tfrecord")
+        assert owner in ring.nodes
+
+    def test_bulk_lookup_100k(self, benchmark):
+        ring = HashRing(nodes=range(1024), vnodes_per_node=100)
+        owners = benchmark(ring.lookup_hashes, KEYS_100K)
+        assert len(owners) == 100_000
+
+    def test_node_removal(self, benchmark):
+        """Membership update: the operation on the failure path."""
+
+        def remove_and_restore():
+            ring.remove_node(500)
+            ring.add_node(500)
+
+        ring = HashRing(nodes=range(1024), vnodes_per_node=100)
+        benchmark(remove_and_restore)
+
+    def test_excluding_lookup_fig6b_kernel(self, benchmark):
+        """The Fig 6(b) inner loop: re-home one node's keys, no rebuild."""
+        ring = HashRing(nodes=range(1024), vnodes_per_node=100)
+        owners = ring.lookup_hashes(KEYS_100K)
+        lost = KEYS_100K[owners == ring.lookup_hash(int(KEYS_100K[0]))]
+        victim = ring.lookup_hash(int(KEYS_100K[0]))
+        new_owners = benchmark(ring.lookup_hashes_excluding, lost, victim)
+        assert victim not in set(new_owners.tolist())
+
+
+class TestArrayVsTreeRing:
+    """The paper used std::map; the array ring wins bulk lookups."""
+
+    def test_tree_ring_lookup(self, benchmark):
+        tree = TreeHashRing(nodes=range(128), vnodes_per_node=100)
+        benchmark(tree.lookup_hash, int(KEYS_100K[0]))
+
+    def test_array_ring_lookup(self, benchmark):
+        ring = HashRing(nodes=range(128), vnodes_per_node=100)
+        benchmark(ring.lookup_hash, int(KEYS_100K[0]))
+
+    def test_tree_ring_update(self, benchmark):
+        tree = TreeHashRing(nodes=range(128), vnodes_per_node=100)
+
+        def update():
+            tree.remove_node(64)
+            tree.add_node(64)
+
+        benchmark(update)
+
+
+class TestBaselines:
+    def test_static_hash_bulk(self, benchmark):
+        sh = StaticHash(nodes=range(1024))
+        benchmark(sh.lookup_hashes, KEYS_100K)
+
+    def test_rendezvous_bulk_small_cluster(self, benchmark):
+        # O(N·K): only viable at modest node counts — the paper's
+        # scalability concern about multi-hash schemes, in numbers.
+        rv = RendezvousHash(nodes=range(64))
+        benchmark(rv.lookup_hashes, KEYS_100K)
+
+
+def test_movement_ablation_table(benchmark):
+    """Sec IV-B: data moved on one failure, per strategy (printed table)."""
+    result = benchmark.pedantic(
+        run_placement_ablation, kwargs=dict(n_nodes=64, n_keys=100_000), rounds=1, iterations=1
+    )
+    print()
+    print(format_placement_ablation(result))
+    by_name = {m.policy: m for m in result.movement}
+    assert by_name["HashRing (paper)"].is_minimal
+    assert by_name["StaticHash (orig. HVAC)"].movement_fraction > 0.9

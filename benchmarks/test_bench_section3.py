@@ -1,0 +1,46 @@
+"""Benchmarks regenerating Section III: Table I, Figure 1, Figure 2.
+
+Each benchmark generates the synthetic six-month Frontier log and runs the
+published analysis, printing the reproduced table/series next to the
+paper's numbers.
+"""
+
+from repro.experiments import (
+    format_fig1,
+    format_fig2,
+    format_table1,
+    run_fig1,
+    run_fig2,
+    run_table1,
+)
+from repro.failures import generate_frontier_log
+
+
+def test_table1_census(benchmark):
+    """Table I: the job-failure census over 181,933 jobs."""
+    result = benchmark(run_table1, seed=2024)
+    print()
+    print(format_table1(result))
+    assert result.census.total_failures == 45_556
+
+
+def test_fig1_weekly_series(benchmark):
+    """Fig 1: weekly mean elapsed-before-failure minutes, 27 weeks."""
+    result = benchmark(run_fig1, seed=2024)
+    print()
+    print(format_fig1(result))
+    assert result.n_weeks == 27
+
+
+def test_fig2_distributions(benchmark):
+    """Fig 2: failure-type mix by allocation size and elapsed time."""
+    result = benchmark(run_fig2, seed=2024)
+    print()
+    print(format_fig2(result))
+    assert result.node_fail_trend_increasing()
+
+
+def test_log_generation_throughput(benchmark):
+    """Micro: synthetic-log generation (vectorised, 181,933 rows)."""
+    log = benchmark(generate_frontier_log, seed=0)
+    assert len(log) == 181_933

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Section III workflow: analyse a SLURM job log for failure patterns.
+
+Generates the synthetic six-month Frontier log (Table I marginals hold by
+construction) and runs the same analysis pipeline the paper applies to the
+production data — the census, the weekly elapsed series, and the
+failure-type distributions.  Point the analysis functions at your own
+``sacct`` export (state / node count / elapsed / week columns) and they
+run unchanged.
+
+Run:  python examples/failure_study.py
+"""
+
+from repro.experiments import (
+    format_fig1,
+    format_fig2,
+    format_table1,
+    run_fig1,
+    run_fig2,
+    run_table1,
+)
+from repro.failures import generate_frontier_log
+
+
+def main() -> None:
+    log = generate_frontier_log(seed=2024)
+    print(f"synthetic log: {len(log):,} jobs over {int(log.week.max()) + 1} weeks\n")
+
+    print(format_table1(run_table1(log=log)))
+    print()
+    print(format_fig1(run_fig1(log=log)))
+    print()
+    print(format_fig2(run_fig2(log=log)))
+
+    print(
+        "\nTakeaway (Sec III): with NODE_FAIL and TIMEOUT together making up about half\n"
+        "of all failures — and dominating at full-machine allocations — a distributed\n"
+        "cache without fault tolerance turns any of these events into a dead training job."
+    )
+
+
+if __name__ == "__main__":
+    main()

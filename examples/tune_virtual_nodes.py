@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Pick a virtual-node count for *your* cluster — the Fig 6(b) workflow.
+
+The paper settled on 100 vnodes/node for 1024 Frontier nodes and the
+CosmoFlow file count, noting "the optimal number ... depends on the number
+of data files used".  This script reruns that trade-off for any
+(node count, file count): post-failure receiver spread and balance on one
+axis, ring memory and rebuild cost on the other, and prints a suggestion.
+
+Run:  python examples/tune_virtual_nodes.py [n_nodes] [n_files]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import HashRing, bulk_hash64
+from repro.experiments.report import render_table
+
+
+def evaluate(n_nodes: int, n_files: int, vnode_counts, trials: int = 100, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    keys = bulk_hash64(np.arange(n_files))
+    rows = []
+    for vn in vnode_counts:
+        t0 = time.perf_counter()
+        ring = HashRing(nodes=range(n_nodes), vnodes_per_node=vn)
+        build_ms = (time.perf_counter() - t0) * 1e3
+        owners = ring.lookup_hashes(keys).astype(np.int64)
+        receivers, spread = [], []
+        for _ in range(trials):
+            victim = int(rng.integers(0, n_nodes))
+            lost = keys[owners == victim]
+            if not len(lost):
+                continue
+            new_owners = ring.lookup_hashes_excluding(lost, victim)
+            _, counts = np.unique(new_owners, return_counts=True)
+            receivers.append(len(counts))
+            spread.append(counts.std() / max(counts.mean(), 1e-9))
+        rows.append(
+            dict(
+                vn=vn,
+                receivers=float(np.mean(receivers)),
+                cv=float(np.mean(spread)),
+                memory_mb=ring.memory_footprint() / 1e6,
+                build_ms=build_ms,
+            )
+        )
+    return rows
+
+
+def suggest(rows) -> int:
+    """Smallest vnode count within 20% of the best receiver spread."""
+    best = max(r["receivers"] for r in rows)
+    for r in rows:
+        if r["receivers"] >= 0.8 * best:
+            return r["vn"]
+    return rows[-1]["vn"]
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    n_files = int(sys.argv[2]) if len(sys.argv) > 2 else 200_000
+    vnode_counts = (1, 10, 50, 100, 200, 500, 1000)
+
+    print(f"tuning vnodes for {n_nodes} nodes, {n_files:,} files "
+          f"(100 failure trials per setting)\n")
+    rows = evaluate(n_nodes, n_files, vnode_counts)
+    print(
+        render_table(
+            ["Vnodes/node", "Receiver nodes", "Balance CV", "Ring memory", "Build time"],
+            [
+                (
+                    r["vn"],
+                    f"{r['receivers']:.1f}",
+                    f"{r['cv']:.3f}",
+                    f"{r['memory_mb']:.1f} MB",
+                    f"{r['build_ms']:.0f} ms",
+                )
+                for r in rows
+            ],
+        )
+    )
+    print(f"\nsuggested vnodes/node: {suggest(rows)} "
+          f"(paper chose 100 for 1024 nodes / 524,288 files)")
+
+
+if __name__ == "__main__":
+    main()

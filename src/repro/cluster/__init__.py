@@ -1,0 +1,45 @@
+"""Simulated HPC substrate: nodes, NVMe, interconnect, PFS, scheduler."""
+
+from .config import (
+    ClusterConfig,
+    ComputeConfig,
+    GiB,
+    KiB,
+    MiB,
+    NetworkConfig,
+    NVMeConfig,
+    PFSConfig,
+    TiB,
+    frontier,
+)
+from .interference import BackgroundLoad, with_interference
+from .network import Network
+from .node import ComputeNode
+from .nvme import NVMeDevice, NVMeFullError
+from .pfs import ParallelFileSystem, PFSStats
+from .slurm import JobTimeLimitExceeded, SlurmController
+from .topology import Cluster
+
+__all__ = [
+    "ClusterConfig",
+    "ComputeConfig",
+    "GiB",
+    "KiB",
+    "MiB",
+    "NetworkConfig",
+    "NVMeConfig",
+    "PFSConfig",
+    "TiB",
+    "frontier",
+    "BackgroundLoad",
+    "with_interference",
+    "Network",
+    "ComputeNode",
+    "NVMeDevice",
+    "NVMeFullError",
+    "ParallelFileSystem",
+    "PFSStats",
+    "JobTimeLimitExceeded",
+    "SlurmController",
+    "Cluster",
+]

@@ -1,0 +1,132 @@
+"""Center-wide PFS interference: the *mechanism* behind the noise knobs.
+
+Orion is shared by every job on Frontier; the paper's straggler analysis
+(Sec V-B.1) is ultimately about a training job's sporadic reads competing
+with that background.  The fluid model folds interference into three
+:class:`~repro.cluster.config.PFSConfig` parameters (per-stream bandwidth,
+per-read latency, lognormal tail); this module provides
+
+* :func:`with_interference` — a principled mapping from a scalar
+  *interference level* to those parameters, shared by both engines, and
+* :class:`BackgroundLoad` — an explicit DES workload: Poisson arrivals of
+  foreign I/O bursts occupying the PFS data channel and metadata server,
+  for small-scale studies where the parametric form should be justified
+  against an actual contending process.
+
+The ``interference`` ablation uses both to probe the one documented
+reproduction residual: how strongly the Fig 5(b) NVMe-vs-PFS gap depends
+on background load at each node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from ..sim import Environment, Process
+from .config import PFSConfig
+from .pfs import ParallelFileSystem
+
+__all__ = ["with_interference", "BackgroundLoad"]
+
+
+def with_interference(config: PFSConfig, level: float) -> PFSConfig:
+    """Scale a PFS config to background-load ``level`` (0 = calibrated base).
+
+    ``level`` is the ratio of foreign to available capacity: 1.0 means the
+    rest of the machine demands as much again as this job's share.  The
+    mapping is the standard M/G/1-flavoured degradation — bandwidth shares
+    shrink hyperbolically, latency and its tail grow with utilisation:
+
+    * aggregate and per-stream bandwidth ÷ (1 + level);
+    * per-read latency × (1 + 2·level) (queueing ahead of each request);
+    * tail sigma + 0.25·level (burstier service under load).
+    """
+    if level < 0:
+        raise ValueError(f"interference level must be >= 0, got {level}")
+    if level == 0:
+        return config
+    return replace(
+        config,
+        aggregate_bw=config.aggregate_bw / (1.0 + level),
+        per_stream_bw=config.per_stream_bw / (1.0 + level),
+        random_read_latency=config.random_read_latency * (1.0 + 2.0 * level),
+        service_noise_sigma=config.service_noise_sigma + 0.25 * level,
+    )
+
+
+class BackgroundLoad:
+    """Explicit DES background traffic against a shared PFS.
+
+    Poisson arrivals of foreign read bursts, each with a lognormal size;
+    the bursts occupy the same fair-share data channel and metadata queue
+    the training job uses, so contention emerges rather than being assumed.
+    ``offered_ratio`` sets the mean offered load relative to the PFS
+    aggregate bandwidth (the same scalar :func:`with_interference` takes).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        pfs: ParallelFileSystem,
+        offered_ratio: float = 0.5,
+        mean_burst_bytes: float = 64e6,
+        sigma: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        max_concurrent_bursts: int = 256,
+    ):
+        if offered_ratio < 0:
+            raise ValueError("offered_ratio must be >= 0")
+        if mean_burst_bytes <= 0:
+            raise ValueError("mean_burst_bytes must be positive")
+        self.env = env
+        self.pfs = pfs
+        self.offered_ratio = offered_ratio
+        self.mean_burst_bytes = mean_burst_bytes
+        self.sigma = sigma
+        self.rng = rng if rng is not None else np.random.default_rng(0xB1A5)
+        #: admission bound: foreign clients back off when the channel is
+        #: saturated, which keeps an over-offered load (ratio > 1) from
+        #: growing the in-flight set without limit
+        self.max_concurrent_bursts = max_concurrent_bursts
+        self.bursts = 0
+        self.dropped = 0
+        self.bytes_offered = 0.0
+        self._proc: Optional[Process] = None
+
+    @property
+    def arrival_rate(self) -> float:
+        """Bursts per second for the requested offered load."""
+        demand = self.offered_ratio * self.pfs.config.aggregate_bw
+        return demand / self.mean_burst_bytes
+
+    def start(self) -> Optional[Process]:
+        if self.offered_ratio == 0:
+            return None
+        if self._proc is not None:
+            raise RuntimeError("background load already started")
+        self._proc = self.env.process(self._run(), name="pfs-background-load")
+        return self._proc
+
+    def _run(self):
+        rate = self.arrival_rate
+        while True:
+            gap = float(self.rng.exponential(1.0 / rate))
+            yield self.env.timeout(gap)
+            if self.pfs.active_streams >= self.max_concurrent_bursts:
+                self.dropped += 1
+                continue  # saturated: foreign client backs off
+            nbytes = float(
+                self.rng.lognormal(
+                    np.log(self.mean_burst_bytes) - 0.5 * self.sigma**2, self.sigma
+                )
+            )
+            self.bursts += 1
+            self.bytes_offered += nbytes
+            self.env.process(self._burst(nbytes), name="pfs-bg-burst")
+
+    def _burst(self, nbytes: float):
+        # A foreign job's read: one metadata op + a fair-share transfer.
+        yield from self.pfs.read(nbytes, n_files=1)

@@ -1,0 +1,71 @@
+"""Interconnect model: per-node full-duplex NICs with fair-share bandwidth.
+
+The fabric itself (Slingshot's dragonfly) is assumed non-blocking — on
+Frontier the bisection bandwidth far exceeds what a data-loading workload
+drives — so contention is modelled at the NIC endpoints: a message from
+``src`` to ``dst`` shares ``src``'s egress channel and ``dst``'s ingress
+channel with all concurrent traffic at those endpoints.  This endpoint
+model is what produces incast queueing when many clients simultaneously
+pull recached data from one surviving node after a failure.
+"""
+
+from __future__ import annotations
+
+from ..sim import AllOf, Environment, SharedBandwidth
+from .config import NetworkConfig
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Endpoint-contended message transport between node ids ``0..n-1``."""
+
+    def __init__(self, env: Environment, config: NetworkConfig, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.env = env
+        self.config = config
+        self.n_nodes = n_nodes
+        self._egress = [
+            SharedBandwidth(env, config.link_bw, name=f"nic{i}.tx") for i in range(n_nodes)
+        ]
+        self._ingress = [
+            SharedBandwidth(env, config.link_bw, name=f"nic{i}.rx") for i in range(n_nodes)
+        ]
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node id {node} out of range [0, {self.n_nodes})")
+
+    def send(self, src: int, dst: int, nbytes: float):
+        """Process body: move ``nbytes`` from ``src`` to ``dst``.
+
+        Loopback (``src == dst``) pays only a minimal software latency —
+        HVAC clients talk to their co-located server through shared memory.
+        """
+        self._check(src)
+        self._check(dst)
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if src == dst:
+            yield self.env.timeout(self.config.base_latency)
+            return
+        yield self.env.timeout(self.config.base_latency)
+        # The transfer occupies both endpoints simultaneously; completion is
+        # when the slower of the two channels finishes its share.
+        tx = self._egress[src].transfer(nbytes)
+        rx = self._ingress[dst].transfer(nbytes)
+        yield AllOf(self.env, [tx, rx])
+
+    def egress_load(self, node: int) -> int:
+        """Concurrent outbound transfers at ``node`` (observability)."""
+        self._check(node)
+        return self._egress[node].active_transfers
+
+    def ingress_load(self, node: int) -> int:
+        self._check(node)
+        return self._ingress[node].active_transfers

@@ -1,0 +1,56 @@
+"""Compute-node model: identity, NVMe, liveness.
+
+Failure semantics follow the paper's injection method (SLURM ``DRAIN``):
+a failed node simply *stops responding* — in-flight and future RPCs to it
+hang until the client's TTL expires.  The node object itself only tracks
+liveness and exposes a ``failed`` event others can wait on; the HVAC
+server and training rank check/subscribe to it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Environment, Event
+from .config import NVMeConfig
+from .nvme import NVMeDevice
+
+__all__ = ["ComputeNode"]
+
+
+class ComputeNode:
+    """One Frontier-like compute node (Table II)."""
+
+    def __init__(self, env: Environment, node_id: int, nvme_config: NVMeConfig):
+        self.env = env
+        self.node_id = node_id
+        self.nvme = NVMeDevice(env, nvme_config, name=f"node{node_id}.nvme")
+        self._alive = True
+        self._failed_event: Optional[Event] = None
+        self.failed_at: Optional[float] = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def failed_event(self) -> Event:
+        """Event that fires at the moment the node fails (lazily created)."""
+        if self._failed_event is None:
+            self._failed_event = Event(self.env)
+            if not self._alive:
+                self._failed_event.succeed(self.node_id)
+        return self._failed_event
+
+    def fail(self) -> None:
+        """Take the node down (idempotent) — the DRAIN effect."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.failed_at = self.env.now
+        if self._failed_event is not None and not self._failed_event.triggered:
+            self._failed_event.succeed(self.node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "up" if self._alive else f"DOWN@{self.failed_at:.1f}s"
+        return f"ComputeNode({self.node_id}, {state})"

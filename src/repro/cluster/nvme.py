@@ -1,0 +1,78 @@
+"""Node-local NVMe device model.
+
+Read and write paths are independent :class:`~repro.sim.SharedBandwidth`
+channels (full-duplex flash controller), each with a fixed per-operation
+latency.  Capacity is accounted in bytes; the cache layer above decides
+eviction policy — the device only refuses writes past capacity.
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment, SharedBandwidth
+from .config import NVMeConfig
+
+__all__ = ["NVMeDevice", "NVMeFullError"]
+
+
+class NVMeFullError(RuntimeError):
+    """Write rejected: device at capacity."""
+
+
+class NVMeDevice:
+    """Bandwidth-shared NVMe volume with byte-level capacity accounting."""
+
+    def __init__(self, env: Environment, config: NVMeConfig, name: str = "nvme"):
+        self.env = env
+        self.config = config
+        self.name = name
+        self._read_chan = SharedBandwidth(env, config.read_bw, name=f"{name}.read")
+        self._write_chan = SharedBandwidth(env, config.write_bw, name=f"{name}.write")
+        self._used = 0.0
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.config.capacity - self._used
+
+    def reserve(self, nbytes: float) -> None:
+        """Claim capacity before a write (raises :class:`NVMeFullError`)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self._used + nbytes > self.config.capacity:
+            raise NVMeFullError(
+                f"{self.name}: {nbytes:.0f} B requested, {self.free_bytes:.0f} B free"
+            )
+        self._used += nbytes
+
+    def release(self, nbytes: float) -> None:
+        """Return capacity after an eviction/delete."""
+        self._used = max(0.0, self._used - nbytes)
+
+    # -- I/O (simulation processes) -------------------------------------------
+    def read(self, nbytes: float):
+        """Process body: read ``nbytes`` (latency + fair-share bandwidth)."""
+        yield self.env.timeout(self.config.per_op_latency)
+        yield self._read_chan.transfer(nbytes)
+
+    def write(self, nbytes: float, reserve: bool = True):
+        """Process body: write ``nbytes``, claiming capacity first by default."""
+        if reserve:
+            self.reserve(nbytes)
+        yield self.env.timeout(self.config.per_op_latency)
+        yield self._write_chan.transfer(nbytes)
+
+    # -- observability ------------------------------------------------------------
+    @property
+    def bytes_read(self) -> float:
+        return self._read_chan.bytes_moved
+
+    @property
+    def bytes_written(self) -> float:
+        return self._write_chan.bytes_moved
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NVMeDevice({self.name}, used={self._used / self.config.capacity:.1%})"

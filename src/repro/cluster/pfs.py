@@ -1,0 +1,126 @@
+"""Parallel file system (Lustre/Orion) model.
+
+A PFS read is a two-stage pipeline, matching the paper's Sec II-A analysis
+of why DL workloads hurt on Lustre:
+
+1. **Metadata stage** — an open/lookup served by the metadata server (MDS),
+   modelled as a bounded-concurrency :class:`~repro.sim.Resource` with a
+   fixed service time.  When thousands of ranks open small files at once,
+   admission queueing at this stage — not data bandwidth — dominates, which
+   is exactly the "metadata lock contention" bottleneck the paper
+   describes, and the source of the straggler behaviour under PFS
+   redirection.
+2. **Data stage** — the transfer shares the job's aggregate OST bandwidth,
+   additionally capped per-stream (one client reading one file cannot
+   stripe wide enough to exceed ``per_stream_bw``).
+
+Writes (checkpointing is out of scope here) reuse the same stages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim import Environment, Resource, SharedBandwidth
+from .config import PFSConfig
+
+__all__ = ["ParallelFileSystem", "PFSStats"]
+
+
+class PFSStats:
+    """Counters the experiments report (PFS pressure per configuration)."""
+
+    __slots__ = ("reads", "bytes_read", "metadata_ops", "total_metadata_wait", "total_read_time")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.bytes_read = 0.0
+        self.metadata_ops = 0
+        self.total_metadata_wait = 0.0
+        self.total_read_time = 0.0
+
+    @property
+    def mean_metadata_wait(self) -> float:
+        return self.total_metadata_wait / self.metadata_ops if self.metadata_ops else 0.0
+
+    @property
+    def mean_read_time(self) -> float:
+        return self.total_read_time / self.reads if self.reads else 0.0
+
+
+class ParallelFileSystem:
+    """Metadata-bounded, bandwidth-shared file system shared by all nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: PFSConfig,
+        name: str = "pfs",
+        noise_rng: Optional[np.random.Generator] = None,
+    ):
+        self.env = env
+        self.config = config
+        self.name = name
+        self._mds = Resource(env, capacity=config.metadata_concurrency)
+        self._data = SharedBandwidth(
+            env, config.aggregate_bw, per_stream_cap=config.per_stream_bw, name=f"{name}.data"
+        )
+        self.stats = PFSStats()
+        if config.service_noise_sigma > 0:
+            self._noise_rng = noise_rng if noise_rng is not None else np.random.default_rng(0x9E37)
+        else:
+            self._noise_rng = None
+
+    def _noise(self) -> float:
+        """Heavy-tailed per-read service multiplier (center-wide interference)."""
+        if self._noise_rng is None:
+            return 1.0
+        return float(self._noise_rng.lognormal(0.0, self.config.service_noise_sigma))
+
+    def metadata_op(self):
+        """Process body: one open/stat against the MDS (queue + service)."""
+        arrived = self.env.now
+        with self._mds.request() as req:
+            yield req
+            self.stats.total_metadata_wait += self.env.now - arrived
+            self.stats.metadata_ops += 1
+            yield self.env.timeout(self.config.metadata_service_time)
+
+    def read(self, nbytes: float, n_files: int = 1, amplification: float = 1.0):
+        """Process body: read ``n_files`` totalling ``nbytes``.
+
+        Each file pays a metadata op (sequentially — a client opens files
+        one after another); the data then moves as one fair-share stream.
+        ``amplification`` scales the per-file latency term for chunked
+        client-side access patterns (see
+        :attr:`~repro.cluster.config.PFSConfig.redirect_read_amplification`).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if n_files < 1:
+            raise ValueError("n_files must be >= 1")
+        if amplification < 1.0:
+            raise ValueError("amplification must be >= 1")
+        start = self.env.now
+        # Interference noise applies to the latency-bound stages (access,
+        # lock/seek per file); the bandwidth share is deterministic fluid.
+        noise = self._noise()
+        lat = self.config.access_latency + n_files * amplification * self.config.random_read_latency
+        yield self.env.timeout(lat * noise)
+        for _ in range(n_files):
+            yield from self.metadata_op()
+        yield self._data.transfer(nbytes)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self.stats.total_read_time += self.env.now - start
+
+    @property
+    def mds_queue_depth(self) -> int:
+        """Requests waiting for metadata admission right now."""
+        return self._mds.queued
+
+    @property
+    def active_streams(self) -> int:
+        return self._data.active_transfers

@@ -1,0 +1,104 @@
+"""SLURM-like controls: node drain and job time limits.
+
+Mirrors the two scheduler behaviours the paper leans on:
+
+* ``sacct update NodeName=… State=DRAIN`` — the failure-injection command
+  used in the evaluation (Sec V-A.3); :meth:`SlurmController.drain`
+  reproduces its observable effect (the node stops responding).
+* Job time limits — Sec IV-A.2 argues PFS redirection risks "job time
+  limit violations": a 5–10% runtime increase can push a job past its
+  allocation and get it killed.  :meth:`SlurmController.enforce_limit`
+  wraps a job process with that guillotine so the experiment suite can
+  measure violation rates per fault-tolerance policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim import AnyOf, Environment, Process
+from .topology import Cluster
+
+__all__ = ["SlurmController", "JobTimeLimitExceeded"]
+
+
+class JobTimeLimitExceeded(RuntimeError):
+    """The scheduler killed the job at its wall-clock limit."""
+
+    def __init__(self, limit: float):
+        super().__init__(f"job exceeded its {limit:.0f}s time limit and was terminated")
+        self.limit = limit
+
+
+class SlurmController:
+    """Scheduler-side view of an allocation."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.drained: list[tuple[float, int]] = []
+
+    @property
+    def env(self) -> Environment:
+        return self.cluster.env
+
+    def drain(self, node_id: int) -> None:
+        """Isolate ``node_id`` immediately (the paper's injection method)."""
+        self.cluster.fail_node(node_id)
+        self.drained.append((self.env.now, node_id))
+
+    def drain_at(self, node_id: int, when: float) -> Process:
+        """Schedule a drain at absolute simulation time ``when``."""
+
+        def _proc():
+            delay = when - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.drain(node_id)
+
+        return self.env.process(_proc(), name=f"drain@{when:.1f}s->node{node_id}")
+
+    def enforce_limit(self, job: Process, limit: float, grace: float = 0.0) -> Process:
+        """Run ``job`` under a wall-clock ``limit``.
+
+        The returned supervisor process finishes with the job's value, or
+        raises :class:`JobTimeLimitExceeded` after ``limit + grace``
+        seconds — interrupting the job, as SLURM's SIGKILL would.
+        """
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+
+        def _supervise():
+            deadline = self.env.timeout(limit + grace)
+            fired = yield AnyOf(self.env, [job, deadline])
+            if job in fired:
+                return job.value
+            if job.is_alive:
+                job.interrupt(JobTimeLimitExceeded(limit))
+            raise JobTimeLimitExceeded(limit)
+
+        return self.env.process(_supervise(), name="slurm-limit")
+
+    def random_drain_times(
+        self,
+        n_failures: int,
+        window_start: float,
+        window_end: float,
+        stream_name: str = "slurm.drain",
+        exclude: Optional[set[int]] = None,
+    ) -> list[tuple[float, int]]:
+        """Pick random (time, victim) pairs, matching the paper's protocol.
+
+        "Both the timing and node selection were randomized" (Sec V-A.3);
+        victims are distinct and drawn from live, non-excluded nodes.
+        """
+        if window_end <= window_start:
+            raise ValueError("window_end must be after window_start")
+        rng = self.cluster.rng.stream(stream_name)
+        candidates = [n for n in self.cluster.alive_nodes if not exclude or n not in exclude]
+        if n_failures > len(candidates):
+            raise ValueError(f"cannot pick {n_failures} victims from {len(candidates)} nodes")
+        victims = rng.choice(len(candidates), size=n_failures, replace=False)
+        times = np.sort(rng.uniform(window_start, window_end, size=n_failures))
+        return [(float(t), candidates[int(v)]) for t, v in zip(times, victims)]

@@ -1,0 +1,60 @@
+"""Cluster assembly: nodes + network + PFS under one simulation environment."""
+
+from __future__ import annotations
+
+from ..sim import Environment, RngRegistry
+from .config import ClusterConfig, frontier
+from .network import Network
+from .node import ComputeNode
+from .pfs import ParallelFileSystem
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated allocation of ``config.n_nodes`` compute nodes.
+
+    Owns the :class:`~repro.sim.Environment`; every other component
+    (HVAC servers/clients, training ranks, failure injectors) is built on
+    top of an instance of this class.
+
+    Examples
+    --------
+    >>> cluster = Cluster.frontier(n_nodes=8, seed=42)
+    >>> cluster.env.run(until=10.0)
+    """
+
+    def __init__(self, config: ClusterConfig, seed: int = 0, env: Environment | None = None):
+        self.config = config
+        self.env = env if env is not None else Environment()
+        self.rng = RngRegistry(seed)
+        self.nodes = [ComputeNode(self.env, i, config.nvme) for i in range(config.n_nodes)]
+        self.network = Network(self.env, config.network, config.n_nodes)
+        self.pfs = ParallelFileSystem(self.env, config.pfs, noise_rng=self.rng.stream("pfs.noise"))
+
+    @classmethod
+    def frontier(cls, n_nodes: int = 64, seed: int = 0) -> "Cluster":
+        """Frontier-calibrated cluster (Table II defaults)."""
+        return cls(frontier(n_nodes), seed=seed)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    def node(self, node_id: int) -> ComputeNode:
+        return self.nodes[node_id]
+
+    @property
+    def alive_nodes(self) -> list[int]:
+        return [n.node_id for n in self.nodes if n.alive]
+
+    @property
+    def failed_nodes(self) -> list[int]:
+        return [n.node_id for n in self.nodes if not n.alive]
+
+    def fail_node(self, node_id: int) -> None:
+        """DRAIN ``node_id`` (idempotent)."""
+        self.nodes[node_id].fail()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Cluster(n_nodes={self.n_nodes}, failed={len(self.failed_nodes)})"

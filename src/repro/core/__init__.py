@@ -1,0 +1,80 @@
+"""Core contribution: consistent-hash placement and fault-tolerance policies.
+
+Public surface:
+
+* Placement — :class:`HashRing` (the paper's mechanism), plus the
+  comparison baselines :class:`StaticHash`, :class:`RendezvousHash`,
+  :class:`RangePartition`, and the ``std::map``-style :class:`TreeHashRing`.
+* Fault tolerance — :class:`TimeoutFailureDetector`,
+  :class:`MembershipView`, and the three policies
+  :class:`NoFT` / :class:`PFSRedirect` / :class:`ElasticRecache`.
+* Analysis — :func:`movement_on_removal`,
+  :func:`redistribution_after_failure`, :func:`imbalance_stats`.
+"""
+
+from .avl import AVLMap, TreeHashRing
+from .failure_detector import DetectorStats, TimeoutFailureDetector
+from .fault_policy import (
+    POLICY_NAMES,
+    ElasticRecache,
+    FaultPolicy,
+    NoFT,
+    PFSRedirect,
+    Target,
+    UnrecoverableNodeFailure,
+    make_policy,
+)
+from .hash_ring import DEFAULT_VNODES, EmptyRingError, HashRing
+from .hashing import HASH_ALGOS, bulk_hash64, hash64, hash_unit, splitmix64
+from .load_analysis import (
+    ImbalanceStats,
+    MovementReport,
+    RedistributionReport,
+    imbalance_stats,
+    movement_on_removal,
+    redistribution_after_failure,
+)
+from .membership import MembershipView, NodeState
+from .placement import PlacementPolicy
+from .range_partition import RangePartition
+from .replication import ReplicatedRecache, salt_hash, salted_hashes
+from .rendezvous import RendezvousHash
+from .static_hash import StaticHash
+
+__all__ = [
+    "AVLMap",
+    "TreeHashRing",
+    "DetectorStats",
+    "TimeoutFailureDetector",
+    "POLICY_NAMES",
+    "ElasticRecache",
+    "FaultPolicy",
+    "NoFT",
+    "PFSRedirect",
+    "Target",
+    "UnrecoverableNodeFailure",
+    "make_policy",
+    "DEFAULT_VNODES",
+    "EmptyRingError",
+    "HashRing",
+    "HASH_ALGOS",
+    "bulk_hash64",
+    "hash64",
+    "hash_unit",
+    "splitmix64",
+    "ImbalanceStats",
+    "MovementReport",
+    "RedistributionReport",
+    "imbalance_stats",
+    "movement_on_removal",
+    "redistribution_after_failure",
+    "MembershipView",
+    "NodeState",
+    "PlacementPolicy",
+    "RangePartition",
+    "ReplicatedRecache",
+    "salt_hash",
+    "salted_hashes",
+    "RendezvousHash",
+    "StaticHash",
+]

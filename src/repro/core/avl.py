@@ -1,0 +1,298 @@
+"""AVL ordered map with ceiling queries — the paper's ``std::map`` analogue.
+
+The published FT-Cache implements its hash ring "with the *std::map* class
+from C++ STL", relying on logarithmic successor queries to resolve key →
+clockwise vnode.  This module reproduces that design point: a self-balancing
+binary search tree offering O(log n) ``insert`` / ``delete`` /
+``ceiling_entry`` so membership changes are incremental rather than
+rebuild-the-array.  :class:`TreeHashRing` wraps it in the
+:class:`~repro.core.placement.PlacementPolicy` interface; the placement
+ablation benchmarks it against the NumPy-array
+:class:`~repro.core.hash_ring.HashRing` (which wins bulk lookups, as the
+array does on modern hardware, while the tree wins single-node updates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from .hashing import hash64
+from .placement import NodeId, PlacementPolicy
+
+__all__ = ["AVLMap", "TreeHashRing"]
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: int, value: Any):
+        self.key = key
+        self.value = value
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.height = 1
+
+
+def _h(n: Optional[_Node]) -> int:
+    return n.height if n else 0
+
+
+def _update(n: _Node) -> None:
+    n.height = 1 + max(_h(n.left), _h(n.right))
+
+
+def _balance_factor(n: _Node) -> int:
+    return _h(n.left) - _h(n.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(n: _Node) -> _Node:
+    _update(n)
+    bf = _balance_factor(n)
+    if bf > 1:
+        assert n.left is not None
+        if _balance_factor(n.left) < 0:
+            n.left = _rotate_left(n.left)
+        return _rotate_right(n)
+    if bf < -1:
+        assert n.right is not None
+        if _balance_factor(n.right) > 0:
+            n.right = _rotate_right(n.right)
+        return _rotate_left(n)
+    return n
+
+
+class AVLMap:
+    """Sorted ``int → value`` map with O(log n) ceiling/floor queries."""
+
+    def __init__(self, items: Iterable[tuple[int, Any]] = ()):
+        self._root: Optional[_Node] = None
+        self._size = 0
+        for k, v in items:
+            self.insert(k, v)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- mutation --------------------------------------------------------------
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+
+        def _ins(n: Optional[_Node]) -> _Node:
+            if n is None:
+                self._size += 1
+                return _Node(key, value)
+            if key < n.key:
+                n.left = _ins(n.left)
+            elif key > n.key:
+                n.right = _ins(n.right)
+            else:
+                n.value = value
+                return n
+            return _rebalance(n)
+
+        self._root = _ins(self._root)
+
+    def delete(self, key: int) -> None:
+        """Remove ``key``; raises :class:`KeyError` when absent."""
+        found = [False]
+
+        def _pop_min(n: _Node) -> tuple[Optional[_Node], _Node]:
+            """Detach the minimum node of subtree ``n``; returns (new_root, min)."""
+            if n.left is None:
+                return n.right, n
+            n.left, m = _pop_min(n.left)
+            return _rebalance(n), m
+
+        def _del(n: Optional[_Node]) -> Optional[_Node]:
+            if n is None:
+                return None
+            if key < n.key:
+                n.left = _del(n.left)
+            elif key > n.key:
+                n.right = _del(n.right)
+            else:
+                found[0] = True
+                if n.left is None:
+                    return n.right
+                if n.right is None:
+                    return n.left
+                n.right, succ = _pop_min(n.right)
+                n.key, n.value = succ.key, succ.value
+            return _rebalance(n)
+
+        self._root = _del(self._root)
+        if not found[0]:
+            raise KeyError(key)
+        self._size -= 1
+
+    # -- queries -----------------------------------------------------------------
+    def get(self, key: int, default: Any = None) -> Any:
+        n = self._root
+        while n is not None:
+            if key < n.key:
+                n = n.left
+            elif key > n.key:
+                n = n.right
+            else:
+                return n.value
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def ceiling_entry(self, key: int) -> Optional[tuple[int, Any]]:
+        """Smallest ``(k, v)`` with ``k >= key``, or None."""
+        n = self._root
+        best: Optional[_Node] = None
+        while n is not None:
+            if n.key >= key:
+                best = n
+                n = n.left
+            else:
+                n = n.right
+        return (best.key, best.value) if best else None
+
+    def floor_entry(self, key: int) -> Optional[tuple[int, Any]]:
+        """Largest ``(k, v)`` with ``k <= key``, or None."""
+        n = self._root
+        best: Optional[_Node] = None
+        while n is not None:
+            if n.key <= key:
+                best = n
+                n = n.right
+            else:
+                n = n.left
+        return (best.key, best.value) if best else None
+
+    def min_entry(self) -> Optional[tuple[int, Any]]:
+        n = self._root
+        if n is None:
+            return None
+        while n.left is not None:
+            n = n.left
+        return (n.key, n.value)
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """In-order (sorted) iteration."""
+        stack: list[_Node] = []
+        n = self._root
+        while stack or n is not None:
+            while n is not None:
+                stack.append(n)
+                n = n.left
+            n = stack.pop()
+            yield (n.key, n.value)
+            n = n.right
+
+    def height(self) -> int:
+        return _h(self._root)
+
+    def check_invariants(self) -> None:
+        """Assert BST ordering and AVL balance (test hook)."""
+
+        def _chk(n: Optional[_Node]) -> tuple[int, int, int]:
+            if n is None:
+                return 0, -1, -1
+            hl, lo_l, hi_l = _chk(n.left)
+            hr, lo_r, hi_r = _chk(n.right)
+            if n.left is not None and hi_l >= n.key:
+                raise AssertionError("BST order violated (left)")
+            if n.right is not None and lo_r <= n.key:
+                raise AssertionError("BST order violated (right)")
+            if abs(hl - hr) > 1:
+                raise AssertionError("AVL balance violated")
+            h = 1 + max(hl, hr)
+            if h != n.height:
+                raise AssertionError("stale height")
+            lo = lo_l if n.left is not None else n.key
+            hi = hi_r if n.right is not None else n.key
+            return h, lo, hi
+
+        _chk(self._root)
+
+
+class TreeHashRing(PlacementPolicy):
+    """Consistent-hash ring backed by an :class:`AVLMap` (paper's std::map).
+
+    Functionally identical to :class:`~repro.core.hash_ring.HashRing` — the
+    equivalence is property-tested — but with O(log V) incremental
+    membership updates instead of array rebuilds.
+    """
+
+    def __init__(self, nodes: Iterable[NodeId] = (), vnodes_per_node: int = 100, algo: str = "blake2b"):
+        if vnodes_per_node < 1:
+            raise ValueError("vnodes_per_node must be >= 1")
+        self.vnodes_per_node = int(vnodes_per_node)
+        self.algo = algo
+        self._map = AVLMap()
+        self._members: dict[NodeId, list[int]] = {}
+        for n in nodes:
+            self.add_node(n)
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        return tuple(self._members)
+
+    def _positions_for(self, node: NodeId) -> list[int]:
+        return [hash64(f"{node}#vn{r}", self.algo) for r in range(self.vnodes_per_node)]
+
+    def add_node(self, node: NodeId) -> None:
+        if node in self._members:
+            raise ValueError(f"node {node!r} already on the ring")
+        positions = self._positions_for(node)
+        for p in positions:
+            existing = self._map.get(p)
+            # Mirror HashRing's deterministic collision tiebreak: the node
+            # admitted earlier keeps the position.
+            if existing is None:
+                self._map.insert(p, node)
+        self._members[node] = positions
+
+    def remove_node(self, node: NodeId) -> None:
+        positions = self._members.pop(node, None)
+        if positions is None:
+            raise KeyError(f"node {node!r} not on the ring")
+        for p in positions:
+            if self._map.get(p) == node:
+                self._map.delete(p)
+                # A colliding vnode of a later node may now claim the slot.
+                for other, other_pos in self._members.items():
+                    if p in other_pos:
+                        self._map.insert(p, other)
+                        break
+
+    def lookup_hash(self, key_hash: int) -> NodeId:
+        if not self._map:
+            raise LookupError("hash ring has no nodes")
+        entry = self._map.ceiling_entry(key_hash + 1)  # strictly-after = side="right"
+        if entry is None:
+            entry = self._map.min_entry()
+            assert entry is not None
+        return entry[1]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TreeHashRing(nodes={len(self._members)}, vnodes_per_node={self.vnodes_per_node})"

@@ -1,0 +1,126 @@
+"""Timeout-counter failure detection (Sec IV-A).
+
+The FT-Cache client flags a server as failed only after a *run* of RPC
+timeouts: "Upon a timeout, the client increments a counter … Once the
+timeout count for a specific node reaches a predefined threshold, that node
+is flagged as failed."  The counter absorbs transient network delays so a
+single slow response does not trigger recovery (a false positive would
+needlessly evict a healthy node and recache its data).
+
+Two tunables, mirroring the artifact's ``TIMEOUT_SECONDS`` and
+``TIMEOUT_LIMIT``:
+
+``ttl``
+    Per-RPC time-to-live in seconds.  The paper's guidance: the TTL "only
+    needs to be greater than the longest observed latency".
+``threshold``
+    Consecutive timeouts required to declare failure.
+
+The detector is engine-agnostic (it never sleeps or schedules); callers
+report outcomes with :meth:`record_timeout` / :meth:`record_success` and
+act on the returned verdict.  Both the simulated HVAC client and the real
+threaded runtime client drive the same instance, so the detection logic is
+tested once and deployed twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+__all__ = ["TimeoutFailureDetector", "DetectorStats"]
+
+NodeId = Hashable
+
+
+@dataclass
+class DetectorStats:
+    """Observability counters for detector behaviour and tuning."""
+
+    timeouts: int = 0
+    successes: int = 0
+    declared_failures: int = 0
+    #: timeouts that were followed by a success before reaching the
+    #: threshold — i.e. transient delays the counter correctly absorbed.
+    absorbed_transients: int = 0
+    #: per-node time of first timeout in the current run (for detection-
+    #: latency measurement); cleared on success or declaration.
+    first_timeout_at: dict = field(default_factory=dict)
+    #: node -> (declare_time - first_timeout_time), recorded at declaration.
+    detection_latency: dict = field(default_factory=dict)
+
+
+class TimeoutFailureDetector:
+    """Counts consecutive per-node RPC timeouts against a threshold."""
+
+    def __init__(self, ttl: float = 5.0, threshold: int = 3):
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.ttl = float(ttl)
+        self.threshold = int(threshold)
+        self._counts: dict[NodeId, int] = {}
+        self._declared: set[NodeId] = set()
+        self.stats = DetectorStats()
+
+    # -- reporting --------------------------------------------------------------
+    def record_timeout(self, node: NodeId, now: Optional[float] = None) -> bool:
+        """Report one RPC timeout against ``node``.
+
+        Returns True exactly once, at the moment the consecutive-timeout
+        count reaches the threshold (the caller should then mark the node
+        failed); further timeouts against a declared node return False.
+        """
+        if node in self._declared:
+            return False
+        self.stats.timeouts += 1
+        count = self._counts.get(node, 0) + 1
+        self._counts[node] = count
+        if count == 1 and now is not None:
+            self.stats.first_timeout_at[node] = now
+        if count >= self.threshold:
+            self._declared.add(node)
+            self._counts.pop(node, None)
+            self.stats.declared_failures += 1
+            if now is not None and node in self.stats.first_timeout_at:
+                self.stats.detection_latency[node] = now - self.stats.first_timeout_at.pop(node)
+            return True
+        return False
+
+    def record_success(self, node: NodeId) -> None:
+        """Report a successful RPC: resets the node's consecutive count."""
+        self.stats.successes += 1
+        pending = self._counts.pop(node, 0)
+        if pending:
+            self.stats.absorbed_transients += pending
+        self.stats.first_timeout_at.pop(node, None)
+
+    # -- queries ------------------------------------------------------------------
+    def is_declared(self, node: NodeId) -> bool:
+        return node in self._declared
+
+    @property
+    def declared(self) -> frozenset:
+        return frozenset(self._declared)
+
+    def pending_count(self, node: NodeId) -> int:
+        """Current consecutive-timeout count for ``node`` (0 when clean)."""
+        return self._counts.get(node, 0)
+
+    def reset(self, node: NodeId) -> None:
+        """Forget a node entirely (used when a node rejoins elastically)."""
+        self._declared.discard(node)
+        self._counts.pop(node, None)
+
+    #: Worst-case wall-clock from first lost RPC to declaration, assuming
+    #: back-to-back requests: threshold sequential TTL expirations.
+    @property
+    def worst_case_detection_time(self) -> float:
+        return self.ttl * self.threshold
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TimeoutFailureDetector(ttl={self.ttl}, threshold={self.threshold}, "
+            f"declared={len(self._declared)})"
+        )

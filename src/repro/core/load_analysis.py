@@ -1,0 +1,176 @@
+"""Data-movement and load-distribution analysis over placement policies.
+
+This module computes, fully vectorised, the quantities behind the paper's
+Figure 6(b) (how many *receiver nodes* absorb a failed node's keys, and how
+many files each receives, as a function of virtual-node count) and the
+Sec IV-B movement comparison (hash ring vs modulo vs multi-hash vs range).
+
+All functions are non-destructive: policies passed in are deep-copied
+before membership is mutated.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from .placement import PlacementPolicy
+
+__all__ = [
+    "MovementReport",
+    "RedistributionReport",
+    "movement_on_removal",
+    "redistribution_after_failure",
+    "imbalance_stats",
+]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class MovementReport:
+    """Key-movement accounting for one node removal.
+
+    ``lost_keys`` *must* move (their owner died); ``collateral_moves`` are
+    keys on surviving nodes whose owner nevertheless changed — the waste a
+    good strategy avoids.  A strategy is *minimal* when collateral is zero:
+    removing a node moves only that node's keys (Karger et al. [20]).
+    """
+
+    policy: str
+    total_keys: int
+    lost_keys: int
+    collateral_moves: int
+
+    @property
+    def moved_keys(self) -> int:
+        return self.lost_keys + self.collateral_moves
+
+    @property
+    def movement_fraction(self) -> float:
+        """Fraction of *all* keys that changed owner."""
+        return self.moved_keys / self.total_keys if self.total_keys else 0.0
+
+    @property
+    def collateral_fraction(self) -> float:
+        """Fraction of *surviving-node* keys needlessly relocated."""
+        surviving = self.total_keys - self.lost_keys
+        return self.collateral_moves / surviving if surviving else 0.0
+
+    @property
+    def is_minimal(self) -> bool:
+        return self.collateral_moves == 0
+
+
+def movement_on_removal(
+    policy: PlacementPolicy, key_hashes: np.ndarray, victim: NodeId, label: str | None = None
+) -> MovementReport:
+    """Measure key movement caused by removing ``victim`` from ``policy``.
+
+    The policy is deep-copied; the caller's instance is unmodified.
+    """
+    if victim not in policy.nodes:
+        raise KeyError(f"victim {victim!r} not in policy membership")
+    before = policy.lookup_hashes(key_hashes)
+    work = copy.deepcopy(policy)
+    work.remove_node(victim)
+    after = work.lookup_hashes(key_hashes)
+    lost_mask = before == victim
+    changed = before != after
+    collateral = int(np.count_nonzero(changed & ~lost_mask))
+    return MovementReport(
+        policy=label or type(policy).__name__,
+        total_keys=int(len(key_hashes)),
+        lost_keys=int(np.count_nonzero(lost_mask)),
+        collateral_moves=collateral,
+    )
+
+
+@dataclass(frozen=True)
+class RedistributionReport:
+    """Where one failed node's keys land — the Fig 6(b) quantities."""
+
+    victim: NodeId
+    lost_files: int
+    #: new owner -> number of the victim's files it absorbed
+    receivers: dict = field(default_factory=dict)
+
+    @property
+    def receiver_count(self) -> int:
+        """Number of distinct surviving nodes that received files."""
+        return len(self.receivers)
+
+    @property
+    def files_per_receiver_mean(self) -> float:
+        if not self.receivers:
+            return 0.0
+        return float(np.mean(list(self.receivers.values())))
+
+    @property
+    def files_per_receiver_std(self) -> float:
+        if not self.receivers:
+            return 0.0
+        return float(np.std(list(self.receivers.values())))
+
+    @property
+    def files_per_receiver_max(self) -> int:
+        return max(self.receivers.values()) if self.receivers else 0
+
+
+def redistribution_after_failure(
+    policy: PlacementPolicy, key_hashes: np.ndarray, victim: NodeId
+) -> RedistributionReport:
+    """Compute the receiver set for ``victim``'s keys after its removal.
+
+    Vectorised: two bulk lookups plus one ``np.unique`` over the lost keys.
+    The policy is deep-copied; the caller's instance is unmodified.
+    """
+    if victim not in policy.nodes:
+        raise KeyError(f"victim {victim!r} not in policy membership")
+    before = policy.lookup_hashes(key_hashes)
+    lost_mask = before == victim
+    lost_hashes = key_hashes[lost_mask]
+    work = copy.deepcopy(policy)
+    work.remove_node(victim)
+    if len(lost_hashes) == 0:
+        return RedistributionReport(victim=victim, lost_files=0, receivers={})
+    new_owners = work.lookup_hashes(lost_hashes)
+    uniq, counts = np.unique(new_owners, return_counts=True)
+    receivers = {n: int(c) for n, c in zip(uniq.tolist(), counts.tolist())}
+    return RedistributionReport(victim=victim, lost_files=int(len(lost_hashes)), receivers=receivers)
+
+
+@dataclass(frozen=True)
+class ImbalanceStats:
+    """Summary statistics of a per-node load histogram."""
+
+    mean: float
+    std: float
+    cv: float
+    max_over_mean: float
+    min_over_mean: float
+
+
+def imbalance_stats(counts: np.ndarray | list[int]) -> ImbalanceStats:
+    """Load-imbalance summary of per-node key counts.
+
+    ``cv`` (coefficient of variation, std/mean) is the headline balance
+    metric; ``max_over_mean`` bounds the straggler node's overload.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty load histogram")
+    mean = float(arr.mean())
+    std = float(arr.std())
+    if mean == 0.0:
+        return ImbalanceStats(mean=0.0, std=std, cv=0.0, max_over_mean=0.0, min_over_mean=0.0)
+    return ImbalanceStats(
+        mean=mean,
+        std=std,
+        cv=std / mean,
+        max_over_mean=float(arr.max()) / mean,
+        min_over_mean=float(arr.min()) / mean,
+    )

@@ -1,0 +1,95 @@
+"""Cluster membership view maintained by each FT-Cache client.
+
+Each client tracks, *locally and autonomously* (Sec IV-A: "each node
+autonomously detects failures, eliminating the need for additional
+inter-node communication"), which server nodes it believes are alive.
+The view is a simple state machine per node::
+
+    ACTIVE --(timeout threshold reached)--> FAILED
+    ACTIVE --(drain notice)---------------> FAILED
+    FAILED --(re-admission, elastic join)--> ACTIVE
+
+Listeners (the fault policy, metrics) are notified on every transition.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Hashable, Iterable
+
+__all__ = ["NodeState", "MembershipView"]
+
+NodeId = Hashable
+
+
+class NodeState(enum.Enum):
+    ACTIVE = "active"
+    FAILED = "failed"
+
+
+class MembershipView:
+    """Per-client record of which server nodes are believed alive."""
+
+    def __init__(self, nodes: Iterable[NodeId] = ()):
+        self._state: dict[NodeId, NodeState] = {n: NodeState.ACTIVE for n in nodes}
+        self._listeners: list[Callable[[NodeId, NodeState], None]] = []
+        self._version = 0
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every state transition."""
+        return self._version
+
+    def state_of(self, node: NodeId) -> NodeState:
+        try:
+            return self._state[node]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def is_active(self, node: NodeId) -> bool:
+        return self._state.get(node) is NodeState.ACTIVE
+
+    @property
+    def active_nodes(self) -> tuple[NodeId, ...]:
+        return tuple(n for n, s in self._state.items() if s is NodeState.ACTIVE)
+
+    @property
+    def failed_nodes(self) -> tuple[NodeId, ...]:
+        return tuple(n for n, s in self._state.items() if s is NodeState.FAILED)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._state
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    # -- transitions ---------------------------------------------------------------
+    def subscribe(self, listener: Callable[[NodeId, NodeState], None]) -> None:
+        """Register a callback invoked as ``listener(node, new_state)``."""
+        self._listeners.append(listener)
+
+    def _transition(self, node: NodeId, state: NodeState) -> None:
+        if node not in self._state:
+            raise KeyError(f"unknown node {node!r}")
+        if self._state[node] is state:
+            return
+        self._state[node] = state
+        self._version += 1
+        for cb in list(self._listeners):
+            cb(node, state)
+
+    def mark_failed(self, node: NodeId) -> None:
+        self._transition(node, NodeState.FAILED)
+
+    def mark_active(self, node: NodeId) -> None:
+        self._transition(node, NodeState.ACTIVE)
+
+    def admit(self, node: NodeId) -> None:
+        """Add a brand-new node in ACTIVE state (elastic scale-up)."""
+        if node in self._state:
+            raise ValueError(f"node {node!r} already tracked")
+        self._state[node] = NodeState.ACTIVE
+        self._version += 1
+        for cb in list(self._listeners):
+            cb(node, NodeState.ACTIVE)

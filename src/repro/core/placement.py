@@ -1,0 +1,93 @@
+"""Placement-policy interface shared by every partitioning strategy.
+
+A *placement policy* answers one question — which node owns this key? —
+and supports membership changes (node joins/failures).  The FT-Cache
+client consults a policy on every intercepted read; the load-distribution
+experiments consult it in bulk over hundreds of thousands of keys, so the
+interface exposes both scalar (:meth:`PlacementPolicy.lookup`) and
+vectorised (:meth:`PlacementPolicy.lookup_hashes`) paths.
+
+Implementations in this package:
+
+======================  =====================================================
+:class:`~repro.core.hash_ring.HashRing`            consistent hashing with
+                                                   virtual nodes (the paper's
+                                                   contribution, Sec IV-B)
+:class:`~repro.core.static_hash.StaticHash`        hash-mod-N (original HVAC)
+:class:`~repro.core.rendezvous.RendezvousHash`     highest-random-weight
+                                                   (Sec IV-B "multiple hash
+                                                   functions" alternative)
+:class:`~repro.core.range_partition.RangePartition` contiguous key ranges
+                                                   (Sec IV-B alternative)
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Sequence, Union
+
+import numpy as np
+
+from .hashing import bulk_hash64, hash64
+
+__all__ = ["PlacementPolicy", "NodeId", "Key"]
+
+NodeId = Hashable
+Key = Union[str, bytes, int]
+
+
+class PlacementPolicy(abc.ABC):
+    """Maps keys to owning nodes; survives node removal/addition."""
+
+    #: hash algorithm used to place keys (see :data:`repro.core.hashing.HASH_ALGOS`)
+    algo: str = "blake2b"
+
+    # -- membership ----------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def nodes(self) -> tuple[NodeId, ...]:
+        """Currently active nodes, in a deterministic order."""
+
+    @abc.abstractmethod
+    def add_node(self, node: NodeId) -> None:
+        """Admit ``node``; subsequent lookups may route keys to it."""
+
+    @abc.abstractmethod
+    def remove_node(self, node: NodeId) -> None:
+        """Evict ``node`` (failure or drain); its keys must re-route."""
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- lookups ---------------------------------------------------------------
+    @abc.abstractmethod
+    def lookup_hash(self, key_hash: int) -> NodeId:
+        """Owner of a pre-hashed key (64-bit unsigned)."""
+
+    def lookup(self, key: Key) -> NodeId:
+        """Owner of ``key``."""
+        return self.lookup_hash(hash64(key, self.algo))
+
+    def lookup_hashes(self, key_hashes: np.ndarray) -> np.ndarray:
+        """Vectorised owner lookup over a ``uint64`` hash array.
+
+        The default implementation loops; subclasses override with a
+        genuinely vectorised version where the structure allows it.
+        Returns an object array of node ids aligned with the input.
+        """
+        return np.array([self.lookup_hash(int(h)) for h in key_hashes], dtype=object)
+
+    def lookup_many(self, keys: Union[np.ndarray, Sequence[Key]]) -> np.ndarray:
+        """Vectorised owner lookup over raw keys."""
+        return self.lookup_hashes(bulk_hash64(keys, self.algo))
+
+    # -- analysis ---------------------------------------------------------------
+    def assignment_counts(self, key_hashes: np.ndarray) -> dict[NodeId, int]:
+        """Histogram of how many of ``key_hashes`` each node owns."""
+        owners = self.lookup_hashes(key_hashes)
+        uniq, counts = np.unique(owners, return_counts=True)
+        return {n: int(c) for n, c in zip(uniq.tolist(), counts.tolist())}

@@ -1,0 +1,111 @@
+"""Range partitioning over the hash space (Sec IV-B alternative).
+
+Each node owns a contiguous interval of the 64-bit key-hash space.  On a
+node failure its interval is absorbed by a neighbour; with
+``rebalance=True`` all boundaries are then re-spaced evenly, which restores
+balance but relocates keys on *other* nodes too — the "more extensive
+redistribution" drawback the paper attributes to range partitioning [19].
+With ``rebalance=False`` movement is minimal but the absorbing neighbour
+carries a double-width range (persistent imbalance).  The placement
+ablation benchmarks both modes against the ring.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .placement import NodeId, PlacementPolicy
+
+__all__ = ["RangePartition"]
+
+_SPACE = 2**64
+
+
+class RangePartition(PlacementPolicy):
+    """Contiguous hash-range ownership with optional rebalancing on removal.
+
+    Node ``i`` owns ``[boundaries[i], boundaries[i+1])``; the final range
+    wraps to ``2**64``.
+    """
+
+    def __init__(self, nodes: Iterable[NodeId] = (), algo: str = "blake2b", rebalance: bool = True):
+        self.algo = algo
+        self.rebalance = bool(rebalance)
+        self._nodes: list[NodeId] = list(nodes)
+        if len(set(self._nodes)) != len(self._nodes):
+            raise ValueError("duplicate node ids")
+        self._starts = self._even_boundaries(len(self._nodes))
+
+    @staticmethod
+    def _even_boundaries(n: int) -> np.ndarray:
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        return (np.arange(n, dtype=np.float64) * (_SPACE / n)).astype(np.uint64)
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        return tuple(self._nodes)
+
+    def range_of(self, node: NodeId) -> tuple[int, int]:
+        """Half-open hash interval ``[lo, hi)`` owned by ``node``."""
+        i = self._nodes.index(node)
+        lo = int(self._starts[i])
+        hi = int(self._starts[i + 1]) if i + 1 < len(self._nodes) else _SPACE
+        return lo, hi
+
+    def add_node(self, node: NodeId) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already present")
+        self._nodes.append(node)
+        if self.rebalance:
+            self._starts = self._even_boundaries(len(self._nodes))
+        else:
+            # Split the widest range in half and hand the top half to the
+            # newcomer (keeps movement local to one range).
+            widths = np.diff(np.append(self._starts, np.uint64(_SPACE - 1)).astype(np.float64))
+            i = int(np.argmax(widths))
+            hi = float(self._starts[i + 1]) if i + 1 < len(self._starts) else float(_SPACE)
+            mid = np.uint64((float(self._starts[i]) + hi) / 2)
+            self._starts = np.insert(self._starts, i + 1, mid)
+            # Newcomer owns the inserted range: rotate it into position i+1.
+            self._nodes.insert(i + 1, self._nodes.pop())
+
+    def remove_node(self, node: NodeId) -> None:
+        try:
+            i = self._nodes.index(node)
+        except ValueError:
+            raise KeyError(f"node {node!r} not present") from None
+        del self._nodes[i]
+        if self.rebalance:
+            self._starts = self._even_boundaries(len(self._nodes))
+        else:
+            # The successor (or, for the last range, the predecessor) absorbs
+            # the orphaned interval; other boundaries are untouched.
+            if i + 1 < len(self._starts):
+                self._starts = np.delete(self._starts, i + 1)
+            else:
+                self._starts = np.delete(self._starts, i)
+
+    def lookup_hash(self, key_hash: int) -> NodeId:
+        if not self._nodes:
+            raise LookupError("no nodes")
+        idx = int(np.searchsorted(self._starts, np.uint64(key_hash), side="right")) - 1
+        if idx < 0:
+            idx = 0  # hashes below the first boundary belong to the first range
+        return self._nodes[idx]
+
+    def lookup_hashes(self, key_hashes: np.ndarray) -> np.ndarray:
+        if not self._nodes:
+            raise LookupError("no nodes")
+        idx = np.searchsorted(self._starts, key_hashes.astype(np.uint64, copy=False), side="right") - 1
+        np.clip(idx, 0, len(self._nodes) - 1, out=idx)
+        catalog = np.array(self._nodes, dtype=object)
+        return catalog[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RangePartition(nodes={len(self._nodes)}, rebalance={self.rebalance}, "
+            f"algo={self.algo!r})"
+        )

@@ -1,0 +1,86 @@
+"""Rendezvous (highest-random-weight) hashing.
+
+Section IV-B of the paper discusses "employing multiple hash functions" to
+redistribute only the failed node's data.  Rendezvous hashing is the
+canonical realisation of that idea: each key scores every node with an
+independent hash and the highest score wins.  Removing a node re-homes only
+the keys it owned (same minimal-movement property as the ring), but every
+lookup is O(N) in the node count — the scalability concern the paper raises
+for multi-hash schemes on large clusters and repeated failures.
+
+Included as the second movement-cost baseline in the placement ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .hashing import hash64, splitmix64
+from .placement import NodeId, PlacementPolicy
+
+__all__ = ["RendezvousHash"]
+
+
+class RendezvousHash(PlacementPolicy):
+    """Highest-random-weight placement: ``argmax_n mix(h(key) ^ h(n))``."""
+
+    def __init__(self, nodes: Iterable[NodeId] = (), algo: str = "blake2b"):
+        self.algo = algo
+        self._nodes: list[NodeId] = []
+        self._node_hashes: list[int] = []
+        for n in nodes:
+            self.add_node(n)
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        return tuple(self._nodes)
+
+    def add_node(self, node: NodeId) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already present")
+        self._nodes.append(node)
+        self._node_hashes.append(hash64(f"hrw:{node}", self.algo))
+
+    def remove_node(self, node: NodeId) -> None:
+        try:
+            i = self._nodes.index(node)
+        except ValueError:
+            raise KeyError(f"node {node!r} not present") from None
+        del self._nodes[i]
+        del self._node_hashes[i]
+
+    @staticmethod
+    def _score(key_hash: np.ndarray, node_hash: int) -> np.ndarray:
+        return splitmix64(key_hash ^ np.uint64(node_hash))
+
+    def lookup_hash(self, key_hash: int) -> NodeId:
+        if not self._nodes:
+            raise LookupError("no nodes")
+        # Scalar path reuses the vector scorer over the node axis.
+        kh = np.uint64(key_hash)
+        scores = splitmix64(np.asarray(self._node_hashes, dtype=np.uint64) ^ kh)
+        return self._nodes[int(np.argmax(scores))]
+
+    def lookup_hashes(self, key_hashes: np.ndarray) -> np.ndarray:
+        """Vectorised over keys, streamed over nodes (O(N·K) time, O(K) memory).
+
+        A full N×K score matrix would be hundreds of MB at cluster scale, so
+        we keep a running maximum instead — same arithmetic, constant memory.
+        """
+        if not self._nodes:
+            raise LookupError("no nodes")
+        kh = key_hashes.astype(np.uint64, copy=False)
+        best_score = self._score(kh, self._node_hashes[0])
+        best_idx = np.zeros(len(kh), dtype=np.intp)
+        for i in range(1, len(self._nodes)):
+            score = self._score(kh, self._node_hashes[i])
+            better = score > best_score
+            np.copyto(best_score, score, where=better)
+            best_idx[better] = i
+        catalog = np.array(self._nodes, dtype=object)
+        return catalog[best_idx]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RendezvousHash(nodes={len(self._nodes)}, algo={self.algo!r})"

@@ -1,0 +1,62 @@
+"""Static hash-mod-N partitioning — the original HVAC placement (Sec IV-B).
+
+The key's hash modulo the node count indexes a fixed node list.  Simple and
+perfectly uniform, but brittle under membership change: dropping from N to
+N−1 nodes re-derives *every* assignment, so on a node failure nearly
+``(N−1)/N`` of all keys change owner and well-cached data must migrate —
+the inefficiency that motivates the paper's hash ring.  This class is kept
+as the movement-cost baseline for the placement ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .placement import NodeId, PlacementPolicy
+
+__all__ = ["StaticHash"]
+
+
+class StaticHash(PlacementPolicy):
+    """``owner = nodes[hash(key) % len(nodes)]`` over an ordered node list."""
+
+    def __init__(self, nodes: Iterable[NodeId] = (), algo: str = "blake2b"):
+        self.algo = algo
+        self._nodes: list[NodeId] = []
+        for n in nodes:
+            self.add_node(n)
+
+    @property
+    def nodes(self) -> tuple[NodeId, ...]:
+        return tuple(self._nodes)
+
+    def add_node(self, node: NodeId) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already present")
+        self._nodes.append(node)
+
+    def remove_node(self, node: NodeId) -> None:
+        # Removal compacts the list: every key's modulo target shifts, which
+        # is exactly the global-reshuffle behaviour this baseline exists to
+        # demonstrate.
+        try:
+            self._nodes.remove(node)
+        except ValueError:
+            raise KeyError(f"node {node!r} not present") from None
+
+    def lookup_hash(self, key_hash: int) -> NodeId:
+        if not self._nodes:
+            raise LookupError("no nodes")
+        return self._nodes[key_hash % len(self._nodes)]
+
+    def lookup_hashes(self, key_hashes: np.ndarray) -> np.ndarray:
+        if not self._nodes:
+            raise LookupError("no nodes")
+        idx = key_hashes.astype(np.uint64, copy=False) % np.uint64(len(self._nodes))
+        catalog = np.array(self._nodes, dtype=object)
+        return catalog[idx.astype(np.intp)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StaticHash(nodes={len(self._nodes)}, algo={self.algo!r})"

@@ -1,0 +1,35 @@
+"""Deep-learning workload model: dataset, sampler, elastic training loop."""
+
+from .cosmoflow import (
+    COSMOFLOW_EPOCHS,
+    COSMOFLOW_SAMPLE_BYTES,
+    COSMOFLOW_TOTAL_BYTES,
+    COSMOFLOW_TRAIN_SAMPLES,
+    COSMOFLOW_VALID_SAMPLES,
+    cosmoflow_dataset,
+)
+from .dataset import Dataset, combine_datasets
+from .fastsim import FluidResult, FluidTrainingModel
+from .elastic import ElasticConfig, StepBarrier
+from .sampler import DistributedSampler
+from .training import JobAborted, TrainingConfig, TrainingJob, TrainingResult
+
+__all__ = [
+    "COSMOFLOW_EPOCHS",
+    "COSMOFLOW_SAMPLE_BYTES",
+    "COSMOFLOW_TOTAL_BYTES",
+    "COSMOFLOW_TRAIN_SAMPLES",
+    "COSMOFLOW_VALID_SAMPLES",
+    "cosmoflow_dataset",
+    "Dataset",
+    "combine_datasets",
+    "FluidResult",
+    "FluidTrainingModel",
+    "ElasticConfig",
+    "StepBarrier",
+    "DistributedSampler",
+    "JobAborted",
+    "TrainingConfig",
+    "TrainingJob",
+    "TrainingResult",
+]

@@ -1,0 +1,54 @@
+"""CosmoFlow workload preset (Sec V-A.2).
+
+The paper trains CosmoFlow (MLPerf HPC) on the cosmoUniverse dataset:
+1.3 TB of preprocessed TFRecords, 524,288 training and 65,536 validation
+samples, 5 epochs per experiment.  ``scale`` shrinks the sample count for
+tractable simulation while keeping the per-sample size (and therefore all
+bandwidth/latency ratios) intact — the experiment harness documents which
+scale each reproduced figure used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataset import Dataset
+
+__all__ = [
+    "COSMOFLOW_TRAIN_SAMPLES",
+    "COSMOFLOW_VALID_SAMPLES",
+    "COSMOFLOW_TOTAL_BYTES",
+    "COSMOFLOW_SAMPLE_BYTES",
+    "COSMOFLOW_EPOCHS",
+    "cosmoflow_dataset",
+]
+
+COSMOFLOW_TRAIN_SAMPLES = 524_288
+COSMOFLOW_VALID_SAMPLES = 65_536
+COSMOFLOW_TOTAL_BYTES = 1.3e12  # "1.3TB TFRecord files"
+#: 1.3 TB spread over train+validation samples
+COSMOFLOW_SAMPLE_BYTES = COSMOFLOW_TOTAL_BYTES / (COSMOFLOW_TRAIN_SAMPLES + COSMOFLOW_VALID_SAMPLES)
+COSMOFLOW_EPOCHS = 5
+
+
+def cosmoflow_dataset(scale: float = 1.0, split: str = "train") -> Dataset:
+    """CosmoFlow training (or validation) set, optionally scaled down.
+
+    ``scale=1.0`` is the paper's full 524,288-sample set; ``scale=1/16``
+    keeps per-sample bytes and produces 32,768 samples — the default used
+    by the end-to-end simulation benchmarks.
+    """
+    if not (0 < scale <= 1.0):
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    if split == "train":
+        base = COSMOFLOW_TRAIN_SAMPLES
+    elif split == "valid":
+        base = COSMOFLOW_VALID_SAMPLES
+    else:
+        raise ValueError(f"unknown split {split!r}")
+    n = max(1, int(round(base * scale)))
+    return Dataset(
+        name=f"cosmoUniverse_{split}",
+        n_samples=n,
+        sample_bytes=COSMOFLOW_SAMPLE_BYTES,
+    )

@@ -1,0 +1,94 @@
+"""Training-dataset model: file-per-sample, the I/O pattern that hurts PFS.
+
+DL vision datasets are "often composed of many small files" (Sec II-A);
+CosmoFlow's cosmoUniverse set is ~1.3 TB of TFRecord files.  The simulator
+only needs each file's identity and size — contents never matter for
+timing — so a dataset is an id space plus a byte-size array, with a
+path catalog for the POSIX interception facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Dataset", "combine_datasets"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Immutable description of a file-per-sample training set."""
+
+    name: str
+    n_samples: int
+    #: bytes of each sample file; scalar (uniform) or per-sample array
+    sample_bytes: float | np.ndarray = 2.6e6
+    path_template: str = "/{name}/train/sample_{fid:08d}.tfrecord"
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {self.n_samples}")
+        if isinstance(self.sample_bytes, np.ndarray):
+            if len(self.sample_bytes) != self.n_samples:
+                raise ValueError("sample_bytes array length must equal n_samples")
+            if (self.sample_bytes <= 0).any():
+                raise ValueError("sample sizes must be positive")
+        elif self.sample_bytes <= 0:
+            raise ValueError("sample_bytes must be positive")
+
+    # -- sizes -------------------------------------------------------------------
+    def file_size(self, fid: int) -> float:
+        if not (0 <= fid < self.n_samples):
+            raise IndexError(f"sample id {fid} out of range [0, {self.n_samples})")
+        if isinstance(self.sample_bytes, np.ndarray):
+            return float(self.sample_bytes[fid])
+        return float(self.sample_bytes)
+
+    @property
+    def total_bytes(self) -> float:
+        if isinstance(self.sample_bytes, np.ndarray):
+            return float(self.sample_bytes.sum())
+        return float(self.sample_bytes) * self.n_samples
+
+    def sizes_array(self) -> np.ndarray:
+        """Per-sample sizes as an array (materialised for uniform datasets)."""
+        if isinstance(self.sample_bytes, np.ndarray):
+            return self.sample_bytes
+        return np.full(self.n_samples, float(self.sample_bytes))
+
+    # -- identity -----------------------------------------------------------------
+    def path_of(self, fid: int) -> str:
+        return self.path_template.format(name=self.name, fid=fid)
+
+    def catalog(self) -> dict[str, tuple[int, float]]:
+        """``path -> (fid, nbytes)`` for the POSIX interceptor."""
+        return {self.path_of(fid): (fid, self.file_size(fid)) for fid in range(self.n_samples)}
+
+    def files(self, fids: Sequence[int] | np.ndarray) -> list[tuple[int, float]]:
+        """``(fid, nbytes)`` pairs for a batch of sample ids."""
+        return [(int(f), self.file_size(int(f))) for f in fids]
+
+    def iter_files(self) -> Iterator[tuple[int, float]]:
+        for fid in range(self.n_samples):
+            yield fid, self.file_size(fid)
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+
+def combine_datasets(train: Dataset, valid: Dataset) -> Dataset:
+    """One id space over train + validation files.
+
+    Train samples keep ids ``[0, len(train))``; validation samples follow
+    at ``[len(train), len(train) + len(valid))``.  The cache layer sees a
+    single file population (as HVAC does — it caches whatever the job
+    reads), while samplers address the two ranges separately.
+    """
+    sizes = np.concatenate([train.sizes_array(), valid.sizes_array()])
+    return Dataset(
+        name=f"{train.name}+{valid.name}",
+        n_samples=train.n_samples + valid.n_samples,
+        sample_bytes=sizes,
+    )

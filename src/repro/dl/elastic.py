@@ -1,0 +1,92 @@
+"""Horovod-elastic semantics: synchronisation barrier and rollback costs.
+
+CosmoFlow in the paper runs under ``horovodrun --elastic``: on a rank
+failure, training "revert[s] to the start of the failed epoch" and resumes
+with the surviving ranks.  Two costs dominate (Sec V-B.1): the *detection*
+delay before the collective notices a dead peer, and the *fixed
+re-initialisation* overhead of the elastic restart — "the fixed time
+required for Horovod's elastic run resumption, which becomes more
+significant as baseline training time decreases with increased
+parallelism" (this is why relative overheads grow with node count in
+Fig 5b even though per-failure data loss shrinks).
+
+:class:`StepBarrier` is the per-batch gradient synchronisation point that
+creates the straggler effect: a step ends only when the *slowest* rank
+arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Environment, Event
+
+__all__ = ["ElasticConfig", "StepBarrier"]
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Rollback cost model for Horovod elastic run."""
+
+    #: time for the collective to notice a dead rank and tear down
+    detect_time: float = 5.0
+    #: base re-initialisation cost of an elastic restart (rendezvous,
+    #: topology rebuild, optimizer state broadcast)
+    restart_overhead: float = 5.0
+    #: additional restart cost per log2(node count): re-forming collectives
+    #: and broadcasting state takes longer on wider allocations, which is
+    #: why "the fixed time required for Horovod's elastic run resumption
+    #: becomes more significant" at scale (Sec V-B.1)
+    restart_per_log2_node: float = 2.5
+
+    def restart_time(self, n_ranks: int) -> float:
+        """Total elastic-restart cost for an ``n_ranks``-wide job."""
+        import math
+
+        return self.restart_overhead + self.restart_per_log2_node * math.log2(max(2, n_ranks))
+
+
+class StepBarrier:
+    """Cyclic barrier over ``parties`` ranks with an allreduce delay.
+
+    Every rank calls :meth:`arrive` once per step and yields the returned
+    event; the event fires ``allreduce_time`` after the last rank arrives
+    (the gradient exchange).  The barrier then resets for the next step.
+
+    A dead rank simply never arrives — survivors block until the elastic
+    controller interrupts them, which is exactly how a hung collective
+    behaves.
+    """
+
+    def __init__(self, env: Environment, parties: int, allreduce_time: float = 0.0):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        if allreduce_time < 0:
+            raise ValueError("allreduce_time must be >= 0")
+        self.env = env
+        self.parties = parties
+        self.allreduce_time = allreduce_time
+        self._count = 0
+        self._release = Event(env)
+        self.generations = 0
+
+    def arrive(self) -> Event:
+        """Register this rank's arrival; yield the returned event to wait."""
+        release = self._release
+        self._count += 1
+        if self._count == self.parties:
+            # Last one in runs the allreduce, then releases everyone.
+            self._count = 0
+            self._release = Event(self.env)
+            self.generations += 1
+            if self.allreduce_time > 0:
+                gate = self.env.timeout(self.allreduce_time)
+                gate.callbacks.append(lambda _e: release.succeed())
+            else:
+                release.succeed()
+        return release
+
+    @property
+    def waiting(self) -> int:
+        """Ranks currently blocked at the barrier."""
+        return self._count

@@ -1,0 +1,114 @@
+"""Distributed epoch-shuffled sampling.
+
+Data-parallel DL reshuffles the whole dataset every epoch and shards it
+across ranks (Sec II-A: "subsequent epochs involve shuffling, requiring
+random access to different data segments").  The sampler is:
+
+* **deterministic** — the permutation is a pure function of
+  ``(seed, epoch)``, so every rank computes the same global order with no
+  communication, and a rollback of the same epoch re-reads the same data;
+* **elastic** — sharding is a function of the *current* rank count, so
+  after a failure the surviving ``N-1`` ranks re-shard the full epoch
+  (Horovod-elastic semantics: the epoch restarts from its beginning).
+
+Sharding interleaves (``perm[rank::n_ranks]``) rather than chunking so
+every rank's share stays balanced to within one sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.rng import derive_seed
+from .dataset import Dataset
+
+__all__ = ["DistributedSampler"]
+
+
+class DistributedSampler:
+    """Per-epoch global shuffle + per-rank interleaved shard + batching."""
+
+    def __init__(self, dataset: Dataset, batch_size: int, seed: int = 0, shuffle: bool = True):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self.shuffle = bool(shuffle)
+        self._perm_cache: dict[int, np.ndarray] = {}
+
+    # -- global order ---------------------------------------------------------
+    def epoch_permutation(self, epoch: int) -> np.ndarray:
+        """The global sample order for ``epoch`` (cached; shared by ranks)."""
+        perm = self._perm_cache.get(epoch)
+        if perm is None:
+            if self.shuffle:
+                rng = np.random.default_rng(derive_seed(self.seed, f"epoch:{epoch}"))
+                perm = rng.permutation(self.dataset.n_samples)
+            else:
+                perm = np.arange(self.dataset.n_samples)
+            # Keep the cache bounded: ranks only ever need the current epoch
+            # (and its rollback repeats), so one entry suffices.
+            self._perm_cache = {epoch: perm}
+        return perm
+
+    # -- per-rank view -----------------------------------------------------------
+    def rank_samples(self, epoch: int, rank: int, n_ranks: int) -> np.ndarray:
+        """Sample ids rank ``rank`` of ``n_ranks`` reads this epoch."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if not (0 <= rank < n_ranks):
+            raise ValueError(f"rank {rank} out of range [0, {n_ranks})")
+        return self.epoch_permutation(epoch)[rank::n_ranks]
+
+    def steps_per_epoch(self, n_ranks: int) -> int:
+        """Synchronised step count: every rank takes the same number of
+        batches (shorter shards simply have a smaller final batch), so the
+        per-batch barrier lines up."""
+        per_rank_max = -(-self.dataset.n_samples // n_ranks)  # ceil
+        return -(-per_rank_max // self.batch_size)
+
+    def batch(self, epoch: int, step: int, rank: int, n_ranks: int) -> np.ndarray:
+        """Sample ids for one ``(epoch, step, rank)`` batch (may be empty)."""
+        shard = self.rank_samples(epoch, rank, n_ranks)
+        lo = step * self.batch_size
+        return shard[lo : lo + self.batch_size]
+
+    def iter_batches(self, epoch: int, rank: int, n_ranks: int):
+        """Yield this rank's batches for ``epoch`` in step order."""
+        for step in range(self.steps_per_epoch(n_ranks)):
+            yield self.batch(epoch, step, rank, n_ranks)
+
+    # -- elastic step-level resume -------------------------------------------------
+    def remaining_after(self, epoch: int, completed_steps: int, n_ranks: int) -> np.ndarray:
+        """Sample ids not yet consumed after ``completed_steps`` barriers.
+
+        Used by step-level elastic recovery: the survivors re-shard exactly
+        the unconsumed remainder of the epoch.  With the interleaved shard,
+        index ``i`` of the permutation sits at position ``i // n_ranks``
+        within its rank's shard, so consumption is a simple threshold.
+        """
+        if completed_steps < 0:
+            raise ValueError("completed_steps must be >= 0")
+        perm = self.epoch_permutation(epoch)
+        consumed = completed_steps * self.batch_size
+        within_shard = np.arange(len(perm)) // n_ranks
+        return perm[within_shard >= consumed]
+
+    @staticmethod
+    def shard_matrix(samples: np.ndarray, n_ranks: int, batch_size: int) -> np.ndarray:
+        """Pad ``samples`` into a ``[n_ranks, steps×batch]`` matrix (-1 = hole).
+
+        Row ``r`` is the interleaved shard ``samples[r::n_ranks]``; every
+        rank gets the same step count so per-batch barriers line up.
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        per_rank_max = -(-len(samples) // n_ranks) if len(samples) else 0
+        steps = -(-per_rank_max // batch_size) if per_rank_max else 0
+        width = max(1, steps) * batch_size
+        out = np.full((n_ranks, width), -1, dtype=np.int64)
+        for r in range(n_ranks):
+            shard = samples[r::n_ranks]
+            out[r, : len(shard)] = shard
+        return out

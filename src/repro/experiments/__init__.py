@@ -1,0 +1,81 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Run from the command line::
+
+    python -m repro.experiments all --scale quick
+    python -m repro.experiments fig5 --scale paper
+    ftcache-experiments fig6b
+
+or programmatically::
+
+    from repro.experiments import run_fig6b, format_fig6b
+    print(format_fig6b(run_fig6b()))
+"""
+
+from .ablation_detector import format_detector_ablation, run_detector_ablation
+from .ablation_interference import format_interference_ablation, run_interference_ablation
+from .ablation_placement import format_placement_ablation, run_placement_ablation
+from .ablation_recovery import format_recovery_ablation, run_recovery_ablation
+from .ablation_replication import format_replication_ablation, run_replication_ablation
+from .ablation_timelimit import format_timelimit_ablation, run_timelimit_ablation
+from .common import PAPER_FAILURES, PAPER_NODE_COUNTS, ExperimentScale
+from .fig1_weekly import Fig1Result, format_fig1, run_fig1
+from .fig2_distribution import Fig2Result, format_fig2, run_fig2
+from .fig3_sequences import Fig3Result, format_fig3, run_fig3
+from .fig4_ring_diagram import Fig4Result, format_fig4, run_fig4
+from .fig5_end_to_end import Fig5Result, Fig5Row, format_fig5, run_fig5
+from .fig6a_victim_epoch import Fig6aResult, format_fig6a, run_fig6a
+from .fig6b_load_distribution import Fig6bResult, format_fig6b, run_fig6b
+from .scorecard import Criterion, Scorecard, format_scorecard, run_scorecard
+from .table1_failures import Table1Result, format_table1, run_table1
+from .table2_specs import Table2Row, format_table2, run_table2
+
+__all__ = [
+    "format_detector_ablation",
+    "run_detector_ablation",
+    "format_interference_ablation",
+    "run_interference_ablation",
+    "format_placement_ablation",
+    "run_placement_ablation",
+    "format_recovery_ablation",
+    "run_recovery_ablation",
+    "format_replication_ablation",
+    "run_replication_ablation",
+    "format_timelimit_ablation",
+    "run_timelimit_ablation",
+    "PAPER_FAILURES",
+    "PAPER_NODE_COUNTS",
+    "ExperimentScale",
+    "Fig1Result",
+    "format_fig1",
+    "run_fig1",
+    "Fig2Result",
+    "format_fig2",
+    "run_fig2",
+    "Fig3Result",
+    "format_fig3",
+    "run_fig3",
+    "Fig4Result",
+    "format_fig4",
+    "run_fig4",
+    "Fig5Result",
+    "Fig5Row",
+    "format_fig5",
+    "run_fig5",
+    "Fig6aResult",
+    "format_fig6a",
+    "run_fig6a",
+    "Fig6bResult",
+    "format_fig6b",
+    "run_fig6b",
+    "Criterion",
+    "Scorecard",
+    "format_scorecard",
+    "run_scorecard",
+    "Table1Result",
+    "Table2Row",
+    "format_table2",
+    "run_table2",
+    "format_table1",
+    "run_table1",
+]

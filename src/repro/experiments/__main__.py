@@ -1,0 +1,169 @@
+"""Command-line entry point: ``python -m repro.experiments <exp> [--scale s]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ablation_detector import format_detector_ablation, run_detector_ablation
+from .ablation_interference import format_interference_ablation, run_interference_ablation
+from .ablation_placement import format_placement_ablation, run_placement_ablation
+from .ablation_recovery import format_recovery_ablation, run_recovery_ablation
+from .ablation_replication import format_replication_ablation, run_replication_ablation
+from .ablation_timelimit import format_timelimit_ablation, run_timelimit_ablation
+from .common import ExperimentScale
+from .fig1_weekly import format_fig1, run_fig1
+from .fig2_distribution import format_fig2, run_fig2
+from .fig3_sequences import format_fig3, run_fig3
+from .fig4_ring_diagram import format_fig4, run_fig4
+from .fig5_end_to_end import format_fig5, run_fig5
+from .fig6a_victim_epoch import format_fig6a, run_fig6a
+from .fig6b_load_distribution import format_fig6b, run_fig6b
+from .export import export_results
+from .scorecard import format_scorecard, run_scorecard
+from .table1_failures import format_table1, run_table1
+from .table2_specs import format_table2, run_table2
+from ..viz import bar_chart, line_plot
+
+EXPERIMENTS = (
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
+    "placement", "detector", "recovery", "replication", "timelimit", "interference", "scorecard",
+)
+
+
+def _scale(name: str) -> ExperimentScale:
+    try:
+        return {"paper": ExperimentScale.paper, "quick": ExperimentScale.quick, "smoke": ExperimentScale.smoke}[name]()
+    except KeyError:
+        raise SystemExit(f"unknown scale {name!r}; choose paper/quick/smoke")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ftcache-experiments",
+        description="Regenerate the paper's tables and figures (FT-Cache reproduction).",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    parser.add_argument("--scale", default="paper", help="paper | quick | smoke (default: paper)")
+    parser.add_argument("--model", default="fluid", help="fig5 engine: fluid | des")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--chart", action="store_true", help="also render terminal charts of the series"
+    )
+    parser.add_argument(
+        "--json", default="", metavar="PATH", help="also export the structured results as JSON"
+    )
+    args = parser.parse_args(argv)
+    scale = _scale(args.scale)
+
+    todo = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    collected: dict = {}
+    for name in todo:
+        if name == "table1":
+            result = run_table1(seed=args.seed)
+            collected[name] = result
+            print(format_table1(result))
+        elif name == "fig1":
+            result = run_fig1(seed=args.seed)
+            collected[name] = result
+            print(format_fig1(result))
+            if args.chart:
+                w = result.weekly
+                print()
+                print(
+                    line_plot(
+                        {
+                            t: (w.weeks + 1, series)
+                            for t, series in w.by_type.items()
+                        },
+                        title="Fig 1 — mean elapsed minutes per week",
+                        y_label="minutes",
+                    )
+                )
+        elif name == "table2":
+            rows = run_table2()
+            collected[name] = rows
+            print(format_table2(rows))
+        elif name == "fig2":
+            result = run_fig2(seed=args.seed)
+            collected[name] = result
+            print(format_fig2(result))
+        elif name == "fig3":
+            result = run_fig3(seed=args.seed)
+            collected[name] = result
+            print(format_fig3(result))
+        elif name == "fig4":
+            result = run_fig4()
+            collected[name] = result
+            print(format_fig4(result))
+        elif name == "fig5":
+            result = run_fig5(scale=scale, model=args.model)
+            collected[name] = result
+            print(format_fig5(result))
+            if args.chart:
+                print()
+                labels, values = [], []
+                for row in result.rows:
+                    labels.append(f"{row.n_nodes} no-fail")
+                    values.append(row.nofail["FT w/ NVMe"] / 60)
+                    labels.append(f"{row.n_nodes} PFS+5f")
+                    values.append(row.withfail["FT w/ PFS"] / 60)
+                    labels.append(f"{row.n_nodes} NVMe+5f")
+                    values.append(row.withfail["FT w/ NVMe"] / 60)
+                print(bar_chart(labels, values, title="Fig 5 — end-to-end time (min)", unit=" min"))
+        elif name == "fig6a":
+            result = run_fig6a(scale=scale)
+            collected[name] = result
+            print(format_fig6a(result))
+        elif name == "fig6b":
+            result = run_fig6b(scale=scale, seed=args.seed)
+            collected[name] = result
+            print(format_fig6b(result))
+            if args.chart:
+                print()
+                print(
+                    bar_chart(
+                        [r.vnodes_per_node for r in result.rows],
+                        [r.receiver_nodes_mean for r in result.rows],
+                        title="Fig 6(b) — receiver nodes vs vnodes/node",
+                    )
+                )
+        elif name == "placement":
+            result = run_placement_ablation()
+            collected[name] = result
+            print(format_placement_ablation(result))
+        elif name == "detector":
+            result = run_detector_ablation(seed=args.seed)
+            collected[name] = result
+            print(format_detector_ablation(result))
+        elif name == "recovery":
+            result = run_recovery_ablation(scale=scale)
+            collected[name] = result
+            print(format_recovery_ablation(result))
+        elif name == "replication":
+            result = run_replication_ablation(scale=scale)
+            collected[name] = result
+            print(format_replication_ablation(result))
+        elif name == "timelimit":
+            result = run_timelimit_ablation(scale=scale)
+            collected[name] = result
+            print(format_timelimit_ablation(result))
+        elif name == "interference":
+            result = run_interference_ablation(scale=scale)
+            collected[name] = result
+            print(format_interference_ablation(result))
+        elif name == "scorecard":
+            card = run_scorecard(scale=scale, seed=args.seed)
+            collected[name] = card
+            print(format_scorecard(card))
+            if not card.all_passed:
+                return 1
+        print()
+    if args.json:
+        path = export_results(collected, args.json, seed=args.seed, scale=args.scale)
+        print(f"exported {len(collected)} result set(s) to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Ablation ``placement``: the Sec IV-B strategy comparison.
+
+The paper argues for the hash ring over three alternatives it discusses:
+hash-mod-N (original HVAC), "multiple hash functions" (realised here as
+rendezvous/HRW hashing), and range partitioning [19].  This experiment
+quantifies the argument on two axes:
+
+* **data movement on failure** — keys relocated when one node dies
+  (lost keys must move; *collateral* moves are pure waste);
+* **lookup/update cost** — bulk-lookup throughput and the membership-
+  update cost, including the paper's ``std::map`` ring
+  (:class:`~repro.core.avl.TreeHashRing`) vs the NumPy-array ring.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core import (
+    HashRing,
+    MovementReport,
+    RangePartition,
+    RendezvousHash,
+    StaticHash,
+    TreeHashRing,
+    bulk_hash64,
+    movement_on_removal,
+)
+from .report import heading, render_table
+
+__all__ = ["PlacementAblationResult", "run_placement_ablation", "format_placement_ablation"]
+
+
+@dataclass
+class PlacementAblationResult:
+    movement: list[MovementReport]
+    n_nodes: int
+    n_keys: int
+    #: name -> (bulk lookup seconds for n_keys, membership-update seconds)
+    timing: dict
+
+
+def _strategies(n_nodes: int, vnodes: int):
+    return {
+        "HashRing (paper)": HashRing(nodes=range(n_nodes), vnodes_per_node=vnodes),
+        "TreeHashRing (std::map)": TreeHashRing(nodes=range(n_nodes), vnodes_per_node=vnodes),
+        "StaticHash (orig. HVAC)": StaticHash(nodes=range(n_nodes)),
+        "Rendezvous (multi-hash)": RendezvousHash(nodes=range(n_nodes)),
+        "Range (rebalance)": RangePartition(nodes=range(n_nodes), rebalance=True),
+        "Range (absorb)": RangePartition(nodes=range(n_nodes), rebalance=False),
+    }
+
+
+def run_placement_ablation(
+    n_nodes: int = 64, n_keys: int = 100_000, vnodes: int = 100, victim: Optional[int] = None
+) -> PlacementAblationResult:
+    key_hashes = bulk_hash64(np.arange(n_keys))
+    victim = n_nodes // 2 if victim is None else victim
+    movement = []
+    timing = {}
+    for name, strategy in _strategies(n_nodes, vnodes).items():
+        if isinstance(strategy, TreeHashRing):
+            # Tree ring has no vectorised bulk path; measure it on a slice
+            # and report movement from its array twin (they are equivalent,
+            # which the property tests assert).
+            t0 = time.perf_counter()
+            for h in key_hashes[:2000]:
+                strategy.lookup_hash(int(h))
+            lookup_s = (time.perf_counter() - t0) * (n_keys / 2000)
+            t0 = time.perf_counter()
+            strategy.remove_node(victim)
+            strategy.add_node(victim)
+            update_s = (time.perf_counter() - t0) / 2
+            timing[name] = (lookup_s, update_s)
+            continue
+        movement.append(movement_on_removal(strategy, key_hashes, victim, label=name))
+        t0 = time.perf_counter()
+        strategy.lookup_hashes(key_hashes)
+        lookup_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        strategy.remove_node(victim)
+        strategy.add_node(victim)
+        update_s = (time.perf_counter() - t0) / 2
+        timing[name] = (lookup_s, update_s)
+    return PlacementAblationResult(
+        movement=movement, n_nodes=n_nodes, n_keys=n_keys, timing=timing
+    )
+
+
+def format_placement_ablation(result: PlacementAblationResult) -> str:
+    out = [
+        heading(
+            f"Placement ablation — one failure among {result.n_nodes} nodes, "
+            f"{result.n_keys} keys"
+        )
+    ]
+    rows = [
+        (
+            m.policy,
+            m.lost_keys,
+            m.collateral_moves,
+            f"{100 * m.movement_fraction:.1f}%",
+            "yes" if m.is_minimal else "NO",
+        )
+        for m in result.movement
+    ]
+    out.append(
+        render_table(["Strategy", "Lost keys", "Collateral moves", "Total moved", "Minimal"], rows)
+    )
+    out.append("")
+    trows = [
+        (name, f"{lookup * 1e3:.1f} ms", f"{update * 1e3:.2f} ms")
+        for name, (lookup, update) in result.timing.items()
+    ]
+    out.append(render_table(["Strategy", f"Bulk lookup ({result.n_keys} keys)", "Membership update"], trows))
+    out.append("")
+    out.append(
+        "The ring moves only the failed node's keys (minimal); hash-mod-N moves\n"
+        "nearly everything — the Sec IV-B motivation for consistent hashing."
+    )
+    return "\n".join(out)

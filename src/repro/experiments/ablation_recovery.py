@@ -1,0 +1,113 @@
+"""Ablation ``recovery``: epoch-level vs step-level elastic rollback.
+
+The paper describes Horovod elastic "reverting to the start of the failed
+epoch"; its measured overheads, however, are only reconcilable with
+sub-epoch recovery (five failures each losing half an epoch on average
+would alone exceed +50%).  This ablation runs both recovery granularities
+on the fluid model so the difference is explicit and the modelling
+decision in EXPERIMENTS.md is backed by numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.config import frontier
+from ..dl.cosmoflow import cosmoflow_dataset
+from ..dl.fastsim import FluidTrainingModel
+from .common import ExperimentScale
+from .report import heading, minutes, render_table
+
+__all__ = ["RecoveryRow", "RecoveryAblationResult", "run_recovery_ablation", "format_recovery_ablation"]
+
+
+@dataclass(frozen=True)
+class RecoveryRow:
+    n_nodes: int
+    nofail: float
+    step_recovery: float
+    epoch_recovery: float
+
+    @property
+    def step_overhead_pct(self) -> float:
+        return 100.0 * (self.step_recovery - self.nofail) / self.nofail
+
+    @property
+    def epoch_overhead_pct(self) -> float:
+        return 100.0 * (self.epoch_recovery - self.nofail) / self.nofail
+
+
+@dataclass
+class RecoveryAblationResult:
+    rows: list[RecoveryRow]
+    n_failures: int
+
+
+def run_recovery_ablation(scale: Optional[ExperimentScale] = None) -> RecoveryAblationResult:
+    scale = scale if scale is not None else ExperimentScale.paper()
+    dataset = cosmoflow_dataset(scale=scale.dataset_scale)
+    rows = []
+    for n in scale.node_counts:
+        cc = frontier(n)
+        base_t, step_t, epoch_t = [], [], []
+        for rep in range(scale.repeats):
+            seed = scale.seed + 1000 * rep
+            cfg_step = scale.training_config(recovery="step")
+            cfg_epoch = scale.training_config(recovery="epoch")
+            base_t.append(
+                FluidTrainingModel(cc, dataset, "FT w/ NVMe", cfg_step, n_failures=0, seed=seed)
+                .run()
+                .total_time
+            )
+            step_t.append(
+                FluidTrainingModel(
+                    cc, dataset, "FT w/ NVMe", cfg_step, n_failures=scale.n_failures, seed=seed
+                )
+                .run()
+                .total_time
+            )
+            epoch_t.append(
+                FluidTrainingModel(
+                    cc, dataset, "FT w/ NVMe", cfg_epoch, n_failures=scale.n_failures, seed=seed
+                )
+                .run()
+                .total_time
+            )
+        rows.append(
+            RecoveryRow(
+                n_nodes=n,
+                nofail=float(np.mean(base_t)),
+                step_recovery=float(np.mean(step_t)),
+                epoch_recovery=float(np.mean(epoch_t)),
+            )
+        )
+    return RecoveryAblationResult(rows=rows, n_failures=scale.n_failures)
+
+
+def format_recovery_ablation(result: RecoveryAblationResult) -> str:
+    out = [
+        heading(
+            f"Recovery ablation — FT w/ NVMe, {result.n_failures} failures, "
+            f"step-level vs epoch-level rollback"
+        )
+    ]
+    rows = [
+        (
+            r.n_nodes,
+            minutes(r.nofail),
+            f"{minutes(r.step_recovery)} (+{r.step_overhead_pct:.1f}%)",
+            f"{minutes(r.epoch_recovery)} (+{r.epoch_overhead_pct:.1f}%)",
+        )
+        for r in result.rows
+    ]
+    out.append(render_table(["Nodes", "No failure", "Step recovery", "Epoch recovery"], rows))
+    out.append("")
+    out.append(
+        "Epoch-level rollback loses E[1/2 epoch] per failure; with five failures its\n"
+        "overhead cannot fall near the paper's +12.5%/+26.7% — hence 'step' is the\n"
+        "default recovery model (see EXPERIMENTS.md, modelling decisions)."
+    )
+    return "\n".join(out)

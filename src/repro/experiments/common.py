@@ -1,0 +1,78 @@
+"""Shared experiment configuration.
+
+``ExperimentScale`` centralises the knobs that trade fidelity for runtime:
+the benchmark suite runs ``quick()`` by default (CI-sized), while
+``paper()`` reproduces the full published parameters.  EXPERIMENTS.md
+records which scale produced each reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dl.training import TrainingConfig
+
+__all__ = ["ExperimentScale", "PAPER_NODE_COUNTS", "PAPER_FAILURES", "PAPER"]
+
+#: Fig 5/6a sweep points on Frontier
+PAPER_NODE_COUNTS = (64, 128, 256, 512, 1024)
+#: Fig 5(b): "single-node failures occur randomly five times after the first epoch"
+PAPER_FAILURES = 5
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Fidelity preset for the end-to-end experiments."""
+
+    name: str
+    #: fraction of the CosmoFlow training set simulated (per-sample size intact)
+    dataset_scale: float
+    node_counts: tuple[int, ...]
+    n_failures: int = PAPER_FAILURES
+    epochs: int = 5
+    batch_size: int = 8
+    #: independent repeats ("all experiments were repeated three times")
+    repeats: int = 3
+    #: Fig 6(b) trials ("the simulation was conducted 500 times")
+    fig6b_trials: int = 500
+    fig6b_nodes: int = 1024
+    fig6b_vnode_counts: tuple[int, ...] = (1, 10, 50, 100, 200, 500, 1000)
+    seed: int = 2024
+
+    def training_config(self, **overrides) -> TrainingConfig:
+        base = dict(epochs=self.epochs, batch_size=self.batch_size, seed=self.seed)
+        base.update(overrides)
+        return TrainingConfig(**base)
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """Full published parameters (fluid model; minutes of wall-clock)."""
+        return cls(name="paper", dataset_scale=1.0, node_counts=PAPER_NODE_COUNTS)
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """CI-sized: 1/16 dataset, three node counts, fewer trials."""
+        return cls(
+            name="quick",
+            dataset_scale=1 / 16,
+            node_counts=(64, 256, 1024),
+            repeats=1,
+            fig6b_trials=100,
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """Seconds-fast sanity scale for tests."""
+        return cls(
+            name="smoke",
+            dataset_scale=1 / 128,
+            node_counts=(16, 64),
+            n_failures=2,
+            repeats=1,
+            fig6b_trials=20,
+            fig6b_nodes=128,
+            fig6b_vnode_counts=(10, 100, 500),
+        )
+
+
+PAPER = ExperimentScale.paper()

@@ -1,0 +1,82 @@
+"""Machine-readable export of experiment results.
+
+Text tables are for humans; plotting pipelines want JSON.  ``jsonable``
+converts any of this package's result objects — nested dataclasses, NumPy
+scalars/arrays, dict-keyed histograms — into plain JSON-compatible data,
+and ``export_results`` writes a bundle of named results with provenance
+(package version, seed, scale) so downstream figures are reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["jsonable", "export_results", "load_results"]
+
+
+def jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-compatible data.
+
+    Handles dataclasses (including frozen), NumPy scalars and arrays,
+    mappings with non-string keys (stringified), sets/tuples (lists), and
+    falls back to ``str`` for anything exotic rather than raising —
+    an export must not crash on a new field.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {f.name: jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+        # Include computed @property values that cheap introspection finds
+        # useful downstream?  No — keep exports structural; properties are
+        # derivable from the fields.
+        return out
+    if isinstance(obj, Mapping):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonable(x) for x in obj]
+    return str(obj)
+
+
+def export_results(
+    results: Mapping[str, Any],
+    path: str | Path,
+    seed: int | None = None,
+    scale: str | None = None,
+) -> Path:
+    """Write named experiment results as one JSON document with provenance."""
+    from .. import __version__
+
+    doc = {
+        "meta": {
+            "package": "repro",
+            "version": __version__,
+            "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "seed": seed,
+            "scale": scale,
+        },
+        "results": {name: jsonable(value) for name, value in results.items()},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: str | Path) -> dict:
+    """Read an :func:`export_results` document back (plain dicts)."""
+    doc = json.loads(Path(path).read_text())
+    if "results" not in doc or "meta" not in doc:
+        raise ValueError(f"{path} is not an experiment export (missing meta/results)")
+    return doc

@@ -1,0 +1,98 @@
+"""Experiment ``fig2``: failure-type distribution (paper Fig 2).
+
+(a) by allocation size — Node Fail share must *rise* with node count,
+    reaching ~46% (and Node Fail + Timeout ~78.6%) in the 7,750–9,300
+    bucket;
+(b) by elapsed time — the type mix must stay roughly flat ("the duration
+    of runtime does not significantly affect the ratio of failure types").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..failures import (
+    BucketShare,
+    SlurmLog,
+    distribution_by_elapsed,
+    distribution_by_nodes,
+    generate_frontier_log,
+)
+from .report import heading, render_table
+
+__all__ = ["Fig2Result", "run_fig2", "format_fig2", "PAPER_TOP_BUCKET"]
+
+#: published numbers for the largest allocation bucket
+PAPER_TOP_BUCKET = {"node_fail_pct": 46.04, "node_fail_plus_timeout_pct": 78.60}
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    by_nodes: list[BucketShare]
+    by_elapsed: list[BucketShare]
+
+    @property
+    def top_bucket(self) -> BucketShare:
+        populated = [b for b in self.by_nodes if b.n_failures > 0]
+        return populated[-1]
+
+    def node_fail_trend_increasing(self) -> bool:
+        """Is Node Fail share (weakly) trending upward across size buckets?"""
+        shares = [b.share["NODE_FAIL"] for b in self.by_nodes if b.n_failures >= 50]
+        if len(shares) < 2:
+            return False
+        slope = np.polyfit(np.arange(len(shares)), shares, 1)[0]
+        return bool(slope > 0)
+
+    def elapsed_mix_flat(self, tolerance_pts: float = 15.0) -> bool:
+        """Does each type's share vary by less than ``tolerance_pts`` across
+        the well-populated elapsed buckets (Fig 2b's 'duration does not
+        significantly affect the ratio of failure types')?  Sparse buckets
+        (a few hundred jobs) are skipped — their shares are noise."""
+        populated = [b for b in self.by_elapsed if b.n_failures >= 1000]
+        for t in ("JOB_FAIL", "TIMEOUT", "NODE_FAIL"):
+            vals = [b.share[t] for b in populated]
+            if max(vals) - min(vals) > tolerance_pts:
+                return False
+        return True
+
+
+def run_fig2(seed: int = 2024, log: SlurmLog | None = None) -> Fig2Result:
+    if log is None:
+        log = generate_frontier_log(seed=seed)
+    return Fig2Result(by_nodes=distribution_by_nodes(log), by_elapsed=distribution_by_elapsed(log))
+
+
+def _rows(buckets: list[BucketShare]):
+    return [
+        (
+            b.label,
+            b.n_failures,
+            f"{b.share['JOB_FAIL']:.1f}%",
+            f"{b.share['TIMEOUT']:.1f}%",
+            f"{b.share['NODE_FAIL']:.1f}%",
+        )
+        for b in buckets
+    ]
+
+
+def format_fig2(result: Fig2Result) -> str:
+    out = [heading("Fig 2(a) — failure-type mix by allocation size")]
+    out.append(render_table(["Nodes", "Failures", "JOB_FAIL", "TIMEOUT", "NODE_FAIL"], _rows(result.by_nodes)))
+    top = result.top_bucket
+    out.append("")
+    out.append(
+        f"Top bucket ({top.label} nodes): NODE_FAIL {top.share['NODE_FAIL']:.1f}% "
+        f"(paper {PAPER_TOP_BUCKET['node_fail_pct']}%), "
+        f"NODE_FAIL+TIMEOUT {top.node_fail_plus_timeout:.1f}% "
+        f"(paper {PAPER_TOP_BUCKET['node_fail_plus_timeout_pct']}%)"
+    )
+    out.append(f"Node Fail share rising with node count: {result.node_fail_trend_increasing()}")
+    out.append("")
+    out.append(heading("Fig 2(b) — failure-type mix by elapsed time", "-"))
+    out.append(render_table(["Elapsed", "Failures", "JOB_FAIL", "TIMEOUT", "NODE_FAIL"], _rows(result.by_elapsed)))
+    out.append("")
+    out.append(f"Mix roughly independent of elapsed time: {result.elapsed_mix_flat()}")
+    return "\n".join(out)

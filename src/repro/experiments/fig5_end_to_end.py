@@ -1,0 +1,175 @@
+"""Experiment ``fig5``: end-to-end training time (paper Fig 5).
+
+(a) no failures: all three systems, 64–1024 nodes — times fall with node
+    count; NoFT is consistently (slightly) fastest because the FT variants
+    pay per-step bookkeeping.
+(b) five random single-node failures after the first epoch: NoFT dies
+    (dashed no-failure line is its reference); FT w/ PFS suffers the most
+    (paper: +32.2% → +68.7% vs no-failure from 64 → 1024 nodes); FT w/
+    NVMe recovers cheapest (+12.5% → +26.7%), beating FT w/ PFS by 14.8%
+    (64) and 24.9% (1024).
+
+The sweep runs on the fluid model by default (full CosmoFlow scale,
+seconds of wall-clock per point) or on the event-level DES (``model=
+"des"``, small scale) — the two are cross-validated in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.config import ClusterConfig, frontier
+from ..cluster.slurm import SlurmController
+from ..cluster.topology import Cluster
+from ..dl.cosmoflow import cosmoflow_dataset
+from ..dl.fastsim import FluidTrainingModel
+from ..dl.training import TrainingJob
+from ..failures import FailureInjector
+from ..metrics import speedup
+from .common import ExperimentScale
+from .report import heading, minutes, render_table
+
+__all__ = ["Fig5Row", "Fig5Result", "run_fig5", "format_fig5", "PAPER_FIG5"]
+
+POLICIES = ("NoFT", "FT w/ PFS", "FT w/ NVMe")
+
+#: published Fig 5(b) overhead/speedup figures for the comparison column
+PAPER_FIG5 = {
+    64: {"pfs_overhead_pct": 32.2, "nvme_overhead_pct": 12.5, "nvme_vs_pfs_pct": 14.8},
+    1024: {"pfs_overhead_pct": 68.7, "nvme_overhead_pct": 26.7, "nvme_vs_pfs_pct": 24.9},
+}
+
+
+@dataclass
+class Fig5Row:
+    n_nodes: int
+    #: mean no-failure total time per policy (Fig 5a)
+    nofail: dict = field(default_factory=dict)
+    #: mean with-failures total time per FT policy (Fig 5b)
+    withfail: dict = field(default_factory=dict)
+    failures_injected: float = 0.0
+
+    def overhead_pct(self, policy: str) -> float:
+        base = self.nofail[policy]
+        return 100.0 * (self.withfail[policy] - base) / base
+
+    @property
+    def nvme_vs_pfs_pct(self) -> float:
+        """Paper's headline: runtime reduction of NVMe recaching vs PFS redirect."""
+        return speedup(self.withfail["FT w/ PFS"], self.withfail["FT w/ NVMe"])
+
+
+@dataclass
+class Fig5Result:
+    rows: list[Fig5Row]
+    scale_name: str
+    model: str
+
+
+def _one_fluid(cc: ClusterConfig, dataset, policy: str, cfg, n_failures: int, seed: int):
+    m = FluidTrainingModel(cc, dataset, policy, cfg, n_failures=n_failures, seed=seed)
+    r = m.run()
+    return r.total_time, len(r.timeline.failures)
+
+
+def _one_des(n_nodes: int, dataset, policy: str, cfg, n_failures: int, seed: int):
+    cluster = Cluster.frontier(n_nodes=n_nodes, seed=seed)
+    job = TrainingJob(cluster, dataset, policy, cfg)
+    if n_failures > 0:
+        injector = FailureInjector(SlurmController(cluster))
+        injector.inject_after_first_epoch(job, n_failures=n_failures)
+    r = job.run()
+    return r.total_time, len(r.timeline.failures)
+
+
+def run_fig5(
+    scale: Optional[ExperimentScale] = None, model: str = "fluid", verbose: bool = False
+) -> Fig5Result:
+    """Run the full Fig 5 sweep (both panels)."""
+    scale = scale if scale is not None else ExperimentScale.paper()
+    if model not in ("fluid", "des"):
+        raise ValueError(f"model must be 'fluid' or 'des', got {model!r}")
+    dataset = cosmoflow_dataset(scale=scale.dataset_scale)
+    cfg = scale.training_config()
+    rows: list[Fig5Row] = []
+    for n in scale.node_counts:
+        row = Fig5Row(n_nodes=n)
+        for policy in POLICIES:
+            nofail_times = []
+            withfail_times = []
+            fail_counts = []
+            for rep in range(scale.repeats):
+                seed = scale.seed + 1000 * rep
+                if model == "fluid":
+                    t0, _ = _one_fluid(frontier(n), dataset, policy, cfg, 0, seed)
+                else:
+                    t0, _ = _one_des(n, dataset, policy, cfg, 0, seed)
+                nofail_times.append(t0)
+                if policy != "NoFT":
+                    if model == "fluid":
+                        t1, nf = _one_fluid(frontier(n), dataset, policy, cfg, scale.n_failures, seed)
+                    else:
+                        t1, nf = _one_des(n, dataset, policy, cfg, scale.n_failures, seed)
+                    withfail_times.append(t1)
+                    fail_counts.append(nf)
+            row.nofail[policy] = float(np.mean(nofail_times))
+            if withfail_times:
+                row.withfail[policy] = float(np.mean(withfail_times))
+                row.failures_injected = float(np.mean(fail_counts))
+        rows.append(row)
+        if verbose:  # pragma: no cover - progress printing
+            print(f"  fig5 n={n} done")
+    return Fig5Result(rows=rows, scale_name=scale.name, model=model)
+
+
+def format_fig5(result: Fig5Result) -> str:
+    out = [heading(f"Fig 5(a) — end-to-end training time, no failures ({result.model} model, scale={result.scale_name})")]
+    rows_a = [
+        (
+            r.n_nodes,
+            minutes(r.nofail["NoFT"]),
+            minutes(r.nofail["FT w/ PFS"]),
+            minutes(r.nofail["FT w/ NVMe"]),
+            "yes" if r.nofail["NoFT"] <= min(r.nofail.values()) + 1e-9 else "no",
+        )
+        for r in result.rows
+    ]
+    out.append(render_table(["Nodes", "NoFT", "FT w/ PFS", "FT w/ NVMe", "NoFT fastest"], rows_a))
+    out.append("")
+    out.append(heading("Fig 5(b) — with five random single-node failures after epoch 1", "-"))
+    rows_b = []
+    for r in result.rows:
+        paper = PAPER_FIG5.get(r.n_nodes, {})
+        rows_b.append(
+            (
+                r.n_nodes,
+                "aborted",
+                minutes(r.withfail["FT w/ PFS"]),
+                minutes(r.withfail["FT w/ NVMe"]),
+                f"{r.overhead_pct('FT w/ PFS'):.1f}%"
+                + (f" ({paper['pfs_overhead_pct']}%)" if paper else ""),
+                f"{r.overhead_pct('FT w/ NVMe'):.1f}%"
+                + (f" ({paper['nvme_overhead_pct']}%)" if paper else ""),
+                f"{r.nvme_vs_pfs_pct:.1f}%" + (f" ({paper['nvme_vs_pfs_pct']}%)" if paper else ""),
+            )
+        )
+    out.append(
+        render_table(
+            [
+                "Nodes",
+                "NoFT",
+                "FT w/ PFS",
+                "FT w/ NVMe",
+                "PFS ovh (paper)",
+                "NVMe ovh (paper)",
+                "NVMe vs PFS (paper)",
+            ],
+            rows_b,
+        )
+    )
+    out.append("")
+    out.append("NoFT aborts on the first failure; its no-failure time is the dashed reference line.")
+    return "\n".join(out)

@@ -1,0 +1,9 @@
+"""Plain-text rendering of experiment results.
+
+The generic helpers live in :mod:`repro.viz.text`; this module re-exports
+them under the historical name used throughout the experiment modules.
+"""
+
+from ..viz.text import heading, minutes, pct, render_series, render_table
+
+__all__ = ["render_table", "render_series", "heading", "pct", "minutes"]

@@ -1,0 +1,104 @@
+"""Experiment ``table1``: the Frontier job-failure census (paper Table I).
+
+Generates the synthetic six-month SLURM log (whose Table I marginals hold
+by construction — see :mod:`repro.failures.slurm_log`) and runs the same
+census the paper reports, printing reproduced vs published side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..failures import (
+    FailureCensus,
+    SlurmLog,
+    combined_node_failure_share,
+    failure_census,
+    generate_frontier_log,
+)
+from .report import heading, render_table
+
+__all__ = ["Table1Result", "run_table1", "format_table1", "PAPER_TABLE1"]
+
+#: Published Table I values for side-by-side comparison.
+PAPER_TABLE1 = {
+    "total_jobs": 181_933,
+    "total_failures": 45_556,
+    "node_fail": 1_174,
+    "timeout": 20_464,
+    "job_fail": 23_918,
+    "failure_overall_pct": 25.04,
+    "node_fail_of_failures_pct": 2.58,
+    "timeout_of_failures_pct": 44.92,
+    "job_fail_of_failures_pct": 52.50,
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    census: FailureCensus
+    combined_node_failure_pct: float
+    mean_elapsed_failed_min: float
+
+
+def run_table1(seed: int = 2024, log: SlurmLog | None = None) -> Table1Result:
+    """Generate (or take) a log and compute the Table I census."""
+    if log is None:
+        log = generate_frontier_log(seed=seed)
+    census = failure_census(log)
+    fail_mask = log.failures_mask
+    mean_elapsed = float(log.elapsed_min[fail_mask].mean()) if fail_mask.any() else float("nan")
+    return Table1Result(
+        census=census,
+        combined_node_failure_pct=combined_node_failure_share(census),
+        mean_elapsed_failed_min=mean_elapsed,
+    )
+
+
+def format_table1(result: Table1Result) -> str:
+    c = result.census
+    fr = c.failure_ratio
+    orr = c.overall_ratio
+    rows = [
+        ("Total Jobs", c.total_jobs, PAPER_TABLE1["total_jobs"], "N/A", "100%"),
+        (
+            "Total Failures",
+            c.total_failures,
+            PAPER_TABLE1["total_failures"],
+            "100%",
+            f"{orr['FAILURES']:.2f}% (paper {PAPER_TABLE1['failure_overall_pct']}%)",
+        ),
+        (
+            "Node Fail",
+            c.node_fail,
+            PAPER_TABLE1["node_fail"],
+            f"{fr['NODE_FAIL']:.2f}% (paper {PAPER_TABLE1['node_fail_of_failures_pct']}%)",
+            f"{orr['NODE_FAIL']:.2f}%",
+        ),
+        (
+            "Timeout",
+            c.timeout,
+            PAPER_TABLE1["timeout"],
+            f"{fr['TIMEOUT']:.2f}% (paper {PAPER_TABLE1['timeout_of_failures_pct']}%)",
+            f"{orr['TIMEOUT']:.2f}%",
+        ),
+        (
+            "Job Fail",
+            c.job_fail,
+            PAPER_TABLE1["job_fail"],
+            f"{fr['JOB_FAIL']:.2f}% (paper {PAPER_TABLE1['job_fail_of_failures_pct']}%)",
+            f"{orr['JOB_FAIL']:.2f}%",
+        ),
+    ]
+    out = [heading("Table I — job failures on Frontier over six months")]
+    out.append(render_table(["Type", "Count", "Paper count", "Failure ratio", "Overall ratio"], rows))
+    out.append("")
+    out.append(
+        f"Combined 'node failure' share (NODE_FAIL + TIMEOUT): "
+        f"{result.combined_node_failure_pct:.1f}% of failures (paper: ~47.5%, 'about half')"
+    )
+    out.append(
+        f"Mean elapsed time before failure: {result.mean_elapsed_failed_min:.0f} min "
+        f"(paper: 'an average of 75 minutes')"
+    )
+    return "\n".join(out)

@@ -1,0 +1,78 @@
+"""Experiment ``table2``: node specifications (paper Table II).
+
+Table II lists the Frontier compute-node hardware the evaluation ran on.
+This "experiment" prints the paper's attributes beside the values this
+repository's calibrated models actually use — the provenance table for
+every simulated number, and the place to look when adapting the models to
+a different machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.config import ClusterConfig, GiB, MiB, TiB, frontier
+from .report import heading, render_table
+
+__all__ = ["Table2Row", "run_table2", "format_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    attribute: str
+    paper: str
+    model: str
+    note: str = ""
+
+
+def run_table2(config: ClusterConfig | None = None) -> list[Table2Row]:
+    cc = config if config is not None else frontier()
+    return [
+        Table2Row("Supercomputer", "Frontier", "calibrated simulator", "see DESIGN.md substitutions"),
+        Table2Row(
+            "CPU",
+            "AMD Trento EPYC 7A53",
+            "(not modelled)",
+            "compute enters as step_compute_time",
+        ),
+        Table2Row(
+            "GPU",
+            "8 x MI250X, 64 GiB HBM",
+            f"step compute {cc.compute.step_compute_time * 1e3:.0f} ms/batch",
+            "per-node local-batch fwd+bwd",
+        ),
+        Table2Row("Memory", "512 GiB DDR4", "(not modelled)", "never binding for data loading"),
+        Table2Row(
+            "Node-local storage",
+            "2 x 1.9 TB PM9A3 NVMe (RAID-0, XFS)",
+            f"{cc.nvme.capacity / TiB:.1f} TiB, "
+            f"{cc.nvme.read_bw / GiB:.0f}/{cc.nvme.write_bw / GiB:.0f} GiB/s r/w",
+            "paper: 3.5 TB usable, ~8/4 GB/s",
+        ),
+        Table2Row(
+            "Interconnect",
+            "Cray Slingshot",
+            f"{cc.network.link_bw / GiB:.0f} GiB/s NIC, "
+            f"{cc.network.base_latency * 1e6:.0f} µs latency",
+            "endpoint-contended model",
+        ),
+        Table2Row(
+            "PFS",
+            "Lustre (Orion), center-wide",
+            f"{cc.pfs.aggregate_bw / GiB:.1f} GiB/s job share, "
+            f"{cc.pfs.per_stream_bw / MiB:.0f} MiB/s/stream, "
+            f"MDS x{cc.pfs.metadata_concurrency}",
+            "shared-system share, not hardware peak",
+        ),
+    ]
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    out = [heading("Table II — compute-node specifications vs calibrated model")]
+    out.append(
+        render_table(
+            ["Attribute", "Paper (Frontier)", "This model", "Note"],
+            [(r.attribute, r.paper, r.model, r.note) for r in rows],
+        )
+    )
+    return "\n".join(out)

@@ -1,0 +1,40 @@
+"""Failure study: synthetic SLURM logs, analysis (Sec III), and injection."""
+
+from .analysis import (
+    BucketShare,
+    FailureCensus,
+    WeeklyElapsed,
+    combined_node_failure_share,
+    distribution_by_elapsed,
+    distribution_by_nodes,
+    failure_census,
+    weekly_elapsed,
+)
+from .injector import FailureInjector
+from .model import ReliabilityModel, fit_from_log
+from .slurm_log import (
+    NODE_BUCKET_WIDTH,
+    FrontierLogModel,
+    JobState,
+    SlurmLog,
+    generate_frontier_log,
+)
+
+__all__ = [
+    "BucketShare",
+    "FailureCensus",
+    "WeeklyElapsed",
+    "combined_node_failure_share",
+    "distribution_by_elapsed",
+    "distribution_by_nodes",
+    "failure_census",
+    "weekly_elapsed",
+    "FailureInjector",
+    "ReliabilityModel",
+    "fit_from_log",
+    "NODE_BUCKET_WIDTH",
+    "FrontierLogModel",
+    "JobState",
+    "SlurmLog",
+    "generate_frontier_log",
+]

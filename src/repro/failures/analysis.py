@@ -1,0 +1,169 @@
+"""Job-failure analysis (paper Section III: Table I, Figures 1 and 2).
+
+Input-agnostic over :class:`~repro.failures.slurm_log.SlurmLog`; every
+function returns plain dataclass rows so the experiment harness can print
+them next to the paper's published values.
+
+The paper's conventions are preserved:
+
+* user/admin-cancelled jobs are excluded from all failure statistics;
+* "node failure" in the combined sense includes both ``NODE_FAIL`` and
+  ``TIMEOUT`` ("in both cases the node becomes unresponsive");
+* Fig 2 reports, per bucket, each failure type's share *of failures in
+  that bucket*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .slurm_log import NODE_BUCKET_WIDTH, JobState, SlurmLog
+
+__all__ = [
+    "FailureCensus",
+    "WeeklyElapsed",
+    "BucketShare",
+    "failure_census",
+    "weekly_elapsed",
+    "distribution_by_nodes",
+    "distribution_by_elapsed",
+    "combined_node_failure_share",
+]
+
+_FAIL_TYPES = (JobState.NODE_FAIL, JobState.TIMEOUT, JobState.JOB_FAIL)
+
+
+@dataclass(frozen=True)
+class FailureCensus:
+    """Table I rows."""
+
+    total_jobs: int
+    total_failures: int
+    node_fail: int
+    timeout: int
+    job_fail: int
+
+    @property
+    def failure_ratio(self) -> dict[str, float]:
+        """Each failure type as a share of all failures (Table I col 3)."""
+        if self.total_failures == 0:
+            return {"NODE_FAIL": 0.0, "TIMEOUT": 0.0, "JOB_FAIL": 0.0}
+        return {
+            "NODE_FAIL": 100.0 * self.node_fail / self.total_failures,
+            "TIMEOUT": 100.0 * self.timeout / self.total_failures,
+            "JOB_FAIL": 100.0 * self.job_fail / self.total_failures,
+        }
+
+    @property
+    def overall_ratio(self) -> dict[str, float]:
+        """Each row as a share of all jobs (Table I col 4)."""
+        return {
+            "FAILURES": 100.0 * self.total_failures / self.total_jobs,
+            "NODE_FAIL": 100.0 * self.node_fail / self.total_jobs,
+            "TIMEOUT": 100.0 * self.timeout / self.total_jobs,
+            "JOB_FAIL": 100.0 * self.job_fail / self.total_jobs,
+        }
+
+
+def failure_census(log: SlurmLog) -> FailureCensus:
+    """Reproduce Table I from a job log."""
+    return FailureCensus(
+        total_jobs=len(log),
+        total_failures=int(log.failures_mask.sum()),
+        node_fail=log.count(JobState.NODE_FAIL),
+        timeout=log.count(JobState.TIMEOUT),
+        job_fail=log.count(JobState.JOB_FAIL),
+    )
+
+
+@dataclass(frozen=True)
+class WeeklyElapsed:
+    """Fig 1: mean elapsed-before-failure minutes, per week and type."""
+
+    weeks: np.ndarray  # (W,)
+    by_type: dict  # type name -> (W,) mean minutes (NaN where no jobs)
+    overall: float  # red dashed line: mean over all failed jobs
+
+
+def weekly_elapsed(log: SlurmLog, n_weeks: int | None = None) -> WeeklyElapsed:
+    """Reproduce Fig 1's weekly series."""
+    weeks = int(log.week.max()) + 1 if n_weeks is None else n_weeks
+    by_type: dict[str, np.ndarray] = {}
+    for state in _FAIL_TYPES:
+        mask = log.state == state
+        means = np.full(weeks, np.nan)
+        for w in range(weeks):
+            sel = mask & (log.week == w)
+            if sel.any():
+                means[w] = float(log.elapsed_min[sel].mean())
+        by_type[JobState.NAMES[state]] = means
+    fail_mask = log.failures_mask
+    overall = float(log.elapsed_min[fail_mask].mean()) if fail_mask.any() else float("nan")
+    return WeeklyElapsed(weeks=np.arange(weeks), by_type=by_type, overall=overall)
+
+
+@dataclass(frozen=True)
+class BucketShare:
+    """One bucket of Fig 2: failure-type shares within the bucket."""
+
+    label: str
+    lo: float
+    hi: float
+    n_failures: int
+    share: dict  # type name -> percent of this bucket's failures
+
+    @property
+    def node_fail_plus_timeout(self) -> float:
+        return self.share.get("NODE_FAIL", 0.0) + self.share.get("TIMEOUT", 0.0)
+
+
+def _bucket_shares(log: SlurmLog, bucket_idx: np.ndarray, edges: list[tuple[float, float, str]]):
+    out: list[BucketShare] = []
+    fail_mask = log.failures_mask
+    for b, (lo, hi, label) in enumerate(edges):
+        sel = fail_mask & (bucket_idx == b)
+        n = int(sel.sum())
+        share = {}
+        for state in _FAIL_TYPES:
+            c = int((log.state[sel] == state).sum())
+            share[JobState.NAMES[state]] = 100.0 * c / n if n else 0.0
+        out.append(BucketShare(label=label, lo=lo, hi=hi, n_failures=n, share=share))
+    return out
+
+
+def distribution_by_nodes(log: SlurmLog, width: int = NODE_BUCKET_WIDTH) -> list[BucketShare]:
+    """Reproduce Fig 2(a): failure-type mix per allocation-size bucket."""
+    idx = log.node_bucket(width)
+    n_buckets = int(idx[log.failures_mask].max()) + 1 if log.failures_mask.any() else 1
+    edges = [
+        (b * width, (b + 1) * width, f"{b * width + 1}-{(b + 1) * width}") for b in range(n_buckets)
+    ]
+    return _bucket_shares(log, idx, edges)
+
+
+def distribution_by_elapsed(
+    log: SlurmLog, edges_min: list[float] | None = None
+) -> list[BucketShare]:
+    """Reproduce Fig 2(b): failure-type mix per elapsed-time bucket."""
+    if edges_min is None:
+        edges_min = [0, 30, 60, 120, 240, 480, 1440, float("inf")]
+    idx = np.searchsorted(np.asarray(edges_min[1:]), log.elapsed_min, side="right")
+    edges = []
+    for b in range(len(edges_min) - 1):
+        lo, hi = edges_min[b], edges_min[b + 1]
+        label = f"{lo:g}-{hi:g} min" if np.isfinite(hi) else f">{lo:g} min"
+        edges.append((lo, hi, label))
+    return _bucket_shares(log, idx, edges)
+
+
+def combined_node_failure_share(census: FailureCensus) -> float:
+    """Paper's combined definition: (NODE_FAIL + TIMEOUT) / failures, percent.
+
+    "we define node failures to include both Node Fail and Timeout cases,
+    which together account for about half of all failures."
+    """
+    if census.total_failures == 0:
+        return 0.0
+    return 100.0 * (census.node_fail + census.timeout) / census.total_failures

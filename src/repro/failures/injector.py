@@ -1,0 +1,131 @@
+"""Random failure injection, mirroring the paper's evaluation protocol.
+
+Sec V-A.3: "node failures were randomly injected after the completion of
+the first epoch … by disabling one or more nodes during runtime …
+both the timing and node selection were randomized."  The injector drains
+nodes through the :class:`~repro.cluster.slurm.SlurmController` (the
+``sacct … State=DRAIN`` analogue) at random times inside a window scaled
+from the observed first-epoch duration, so the schedule adapts to however
+long the simulated epochs actually take.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.slurm import SlurmController
+from ..dl.training import TrainingJob
+from ..sim import Process
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Drains random nodes during a training job."""
+
+    def __init__(self, slurm: SlurmController, stream_name: str = "injector"):
+        self.slurm = slurm
+        self.cluster = slurm.cluster
+        self.env = slurm.env
+        self.rng = self.cluster.rng.stream(stream_name)
+        #: (time, node_id) pairs actually injected
+        self.injected: list[tuple[float, int]] = []
+
+    # -- protocols ----------------------------------------------------------------
+    def inject_after_first_epoch(
+        self, job: TrainingJob, n_failures: int = 1, spread: float = 0.9
+    ) -> Process:
+        """Fig 5(b) protocol: ``n_failures`` single-node drains, at random
+        times after epoch 0 completes (cache fully populated).
+
+        The injection window is ``spread × d₁ × (remaining epochs)`` where
+        ``d₁`` is the measured first-epoch duration — post-failure epochs
+        only get longer, so every drain lands inside the run.
+        """
+        if n_failures < 1:
+            raise ValueError("n_failures must be >= 1")
+
+        def _proc():
+            t_done = yield job.epoch_end_event(0)
+            d1 = job.timeline.epochs[0].duration
+            horizon = max(d1 * 0.1, spread * d1 * max(1, job.config.epochs - 1))
+            offsets = np.sort(self.rng.uniform(0.0, horizon, size=n_failures))
+            for off in offsets:
+                target_t = t_done + float(off)
+                delay = target_t - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                victim = self._pick_victim()
+                if victim is None:
+                    return  # nothing left to kill
+                self.slurm.drain(victim)
+                self.injected.append((self.env.now, victim))
+
+        return self.env.process(_proc(), name="failure-injector")
+
+    def inject_in_epoch(self, job: TrainingJob, epoch: int, fraction: float = 0.5) -> Process:
+        """Fig 6(a) protocol: one drain partway through a chosen epoch.
+
+        Waits for ``epoch - 1`` to complete, then ``fraction`` of that
+        epoch's duration (a proxy for mid-epoch progress), then drains one
+        random node — making ``epoch`` the *victim epoch*.
+        """
+        if epoch < 1:
+            raise ValueError("the victim epoch must be >= 1 (epoch 0 populates the cache)")
+        if not (0.0 <= fraction < 1.0):
+            raise ValueError("fraction must be in [0, 1)")
+
+        def _proc():
+            yield job.epoch_end_event(epoch - 1)
+            # The controller has already opened the next epoch's record by
+            # the time we wake; measure the last *completed* epoch.
+            prev = next(
+                r.duration for r in reversed(job.timeline.epochs) if r.end is not None
+            )
+            if fraction > 0:
+                yield self.env.timeout(prev * fraction)
+            victim = self._pick_victim()
+            if victim is not None:
+                self.slurm.drain(victim)
+                self.injected.append((self.env.now, victim))
+
+        return self.env.process(_proc(), name=f"failure-injector-epoch{epoch}")
+
+    def inject_burst(self, job: TrainingJob, size: int, epoch: int = 1, fraction: float = 0.5) -> Process:
+        """Correlated failure: ``size`` nodes drained at the same instant.
+
+        Models a shared-blast-radius event (a rack PDU, a leaf switch) —
+        beyond the paper's independent single-node protocol, this is the
+        case replication factors and vnode counts are really sized for.
+        """
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        if epoch < 1:
+            raise ValueError("the burst epoch must be >= 1 (epoch 0 populates the cache)")
+        if not (0.0 <= fraction < 1.0):
+            raise ValueError("fraction must be in [0, 1)")
+
+        def _proc():
+            yield job.epoch_end_event(epoch - 1)
+            prev = next(
+                r.duration for r in reversed(job.timeline.epochs) if r.end is not None
+            )
+            if fraction > 0:
+                yield self.env.timeout(prev * fraction)
+            for _ in range(size):
+                victim = self._pick_victim()
+                if victim is None:
+                    return
+                self.slurm.drain(victim)
+                self.injected.append((self.env.now, victim))
+
+        return self.env.process(_proc(), name=f"burst-injector-{size}@{epoch}")
+
+    # -- helpers ---------------------------------------------------------------------
+    def _pick_victim(self) -> Optional[int]:
+        alive = self.cluster.alive_nodes
+        if len(alive) <= 1:
+            return None  # never kill the last node
+        return int(alive[int(self.rng.integers(0, len(alive)))])

@@ -1,0 +1,86 @@
+"""Reliability arithmetic: node counts, MTBF, and job survival.
+
+Section III's empirical message — failure likelihood "is closely tied to
+the number of nodes" — has a standard analytic backbone: with independent
+exponential node lifetimes of mean ``mtbf``, an ``n``-node job of duration
+``t`` survives with probability ``exp(-n·t/mtbf)``.  This module provides
+that arithmetic (fit from a log, or given directly) so users can answer
+the operational questions the paper raises: how likely is *my* job to see
+a node failure, and how much does fault tolerance buy?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .slurm_log import JobState, SlurmLog
+
+__all__ = ["ReliabilityModel", "fit_from_log"]
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Exponential per-node failure model."""
+
+    #: mean time between hardware failures of a single node, minutes
+    node_mtbf_min: float
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_min <= 0:
+            raise ValueError("node_mtbf_min must be positive")
+
+    # -- survival ----------------------------------------------------------------
+    def failure_rate(self, n_nodes: int) -> float:
+        """Aggregate failures per minute for an ``n_nodes`` allocation."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        return n_nodes / self.node_mtbf_min
+
+    def p_failure(self, n_nodes: int, duration_min: float) -> float:
+        """P(at least one node failure during the job)."""
+        if duration_min < 0:
+            raise ValueError("duration_min must be >= 0")
+        return 1.0 - float(np.exp(-self.failure_rate(n_nodes) * duration_min))
+
+    def expected_failures(self, n_nodes: int, duration_min: float) -> float:
+        return self.failure_rate(n_nodes) * duration_min
+
+    def mean_time_to_first_failure(self, n_nodes: int) -> float:
+        """Minutes until the first node of an allocation dies, in expectation."""
+        return 1.0 / self.failure_rate(n_nodes)
+
+    # -- the fault-tolerance argument -------------------------------------------------
+    def expected_completion_time(
+        self, n_nodes: int, duration_min: float, restart_cost_min: float, fault_tolerant: bool
+    ) -> float:
+        """Expected wall-clock to *finish* the job.
+
+        Without fault tolerance every failure restarts the job from
+        scratch (memoryless retries: E[T] = (e^{λd} − 1)/λ); with it, each
+        failure only adds ``restart_cost_min``.
+        """
+        lam = self.failure_rate(n_nodes)
+        if fault_tolerant:
+            return duration_min + self.expected_failures(n_nodes, duration_min) * restart_cost_min
+        if lam * duration_min > 700:  # exp overflow guard: effectively never finishes
+            return float("inf")
+        return float((np.exp(lam * duration_min) - 1.0) / lam)
+
+
+def fit_from_log(log: SlurmLog, total_nodes: int = 9_408, weeks: float = 27.0) -> ReliabilityModel:
+    """Estimate per-node MTBF from a SLURM log's NODE_FAIL count.
+
+    ``node-failure events / (machine nodes × observation window)`` gives
+    the per-node hazard; its inverse is the MTBF.  Only NODE_FAIL rows
+    count — TIMEOUT includes non-hardware causes and would bias the rate.
+    """
+    if total_nodes < 1 or weeks <= 0:
+        raise ValueError("total_nodes must be >= 1 and weeks positive")
+    n_events = log.count(JobState.NODE_FAIL)
+    if n_events == 0:
+        raise ValueError("log contains no NODE_FAIL events to fit on")
+    window_min = weeks * 7 * 24 * 60
+    rate_per_node = n_events / (total_nodes * window_min)
+    return ReliabilityModel(node_mtbf_min=1.0 / rate_per_node)

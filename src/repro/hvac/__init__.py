@@ -1,0 +1,22 @@
+"""HVAC distributed cache on the simulated cluster: client, server, RPC."""
+
+from .cache_store import CacheStore
+from .client import HvacClient, RoutingLoopError
+from .interceptor import FileHandle, PosixInterceptor
+from .rpc import REQUEST_WIRE_BYTES, RpcEnvelope, RpcFabric, RpcResult
+from .server import HvacServer, ReadRequest, ReadResponse
+
+__all__ = [
+    "CacheStore",
+    "HvacClient",
+    "RoutingLoopError",
+    "FileHandle",
+    "PosixInterceptor",
+    "REQUEST_WIRE_BYTES",
+    "RpcEnvelope",
+    "RpcFabric",
+    "RpcResult",
+    "HvacServer",
+    "ReadRequest",
+    "ReadResponse",
+]

@@ -1,0 +1,74 @@
+"""Per-server NVMe cache contents with LRU eviction.
+
+Tracks which file ids this server holds and how many bytes each occupies,
+backed by the node's :class:`~repro.cluster.nvme.NVMeDevice` capacity
+accounting.  CosmoFlow's working set fits node-local NVMe with huge
+headroom (1.3 TB / N nodes vs 3.5 TB per node), so eviction never fires in
+the paper's experiments — but a cache layer without an eviction path is a
+toy, and the capacity-pressure tests exercise it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..cluster.nvme import NVMeDevice
+
+__all__ = ["CacheStore"]
+
+
+class CacheStore:
+    """LRU map of ``file_id -> nbytes`` bounded by NVMe capacity."""
+
+    def __init__(self, nvme: NVMeDevice):
+        self.nvme = nvme
+        self._entries: "OrderedDict[int, float]" = OrderedDict()
+        self.evictions = 0
+        self.insertions = 0
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def cached_bytes(self) -> float:
+        return self.nvme.used_bytes
+
+    @property
+    def file_ids(self) -> list[int]:
+        return list(self._entries)
+
+    def touch(self, file_id: int) -> float:
+        """Record a hit (LRU refresh); returns the entry's size."""
+        nbytes = self._entries[file_id]
+        self._entries.move_to_end(file_id)
+        return nbytes
+
+    def put(self, file_id: int, nbytes: float) -> None:
+        """Admit an entry, evicting LRU entries if capacity demands it.
+
+        Idempotent for an already-cached id (refreshes recency only).
+        """
+        if file_id in self._entries:
+            self._entries.move_to_end(file_id)
+            return
+        while self.nvme.free_bytes < nbytes and self._entries:
+            old_id, old_bytes = self._entries.popitem(last=False)
+            self.nvme.release(old_bytes)
+            self.evictions += 1
+        # May still raise NVMeFullError for an entry larger than the device.
+        self.nvme.reserve(nbytes)
+        self._entries[file_id] = nbytes
+        self.insertions += 1
+
+    def drop(self, file_id: int) -> None:
+        nbytes = self._entries.pop(file_id, None)
+        if nbytes is not None:
+            self.nvme.release(nbytes)
+
+    def clear(self) -> None:
+        for nbytes in self._entries.values():
+            self.nvme.release(nbytes)
+        self._entries.clear()

@@ -1,0 +1,169 @@
+"""HVAC client: the interception layer linked into every training rank.
+
+On Frontier the client is an ``LD_PRELOAD`` shared library that intercepts
+``open/read/close`` and forwards them, via a placement hash, to the owning
+HVAC server (Sec II-B).  Here the client exposes :meth:`read_files`, which
+the simulated training loop calls once per batch; the POSIX-style facade in
+:mod:`repro.hvac.interceptor` provides per-file ``open/read/close`` parity
+for the examples.
+
+The fault-tolerance flow is the paper's Figure 3:
+
+1. group the batch's files by routing target (owner node, or PFS when the
+   policy says so);
+2. fetch all groups concurrently — server groups over RPC with a TTL,
+   PFS groups directly;
+3. on an RPC timeout, feed the failure detector; when the timeout counter
+   reaches its threshold the node is *declared* failed, membership flips,
+   and the fault policy reacts (abort / PFS redirect / ring removal);
+4. unserved files re-route through the updated policy and retry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.topology import Cluster
+from ..core.failure_detector import TimeoutFailureDetector
+from ..core.fault_policy import FaultPolicy
+from ..core.membership import MembershipView
+from ..metrics import MetricsCollector
+from ..metrics.trace import Tracer
+from ..sim import AllOf
+from .rpc import RpcFabric
+from .server import ReadRequest
+
+__all__ = ["HvacClient", "RoutingLoopError"]
+
+#: safety valve: a single batch should never need more re-route rounds than
+#: (detector threshold × node count); beyond that something is wrong with
+#: the policy, and an infinite retry loop would hang the simulation silently.
+_MAX_EXTRA_ROUNDS = 8
+
+
+class RoutingLoopError(RuntimeError):
+    """A batch could not be served after exhausting re-route attempts."""
+
+
+class HvacClient:
+    """Per-node cache client with timeout-based failure handling."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        policy: FaultPolicy,
+        fabric: RpcFabric,
+        membership: Optional[MembershipView] = None,
+        detector: Optional[TimeoutFailureDetector] = None,
+        metrics: Optional[MetricsCollector] = None,
+        ttl: float = 5.0,
+        timeout_threshold: int = 3,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.node_id = node_id
+        self.policy = policy
+        self.fabric = fabric
+        self.membership = membership
+        self.detector = detector if detector is not None else TimeoutFailureDetector(
+            ttl=ttl, threshold=timeout_threshold
+        )
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.tracer = tracer
+        self.ttl = float(self.detector.ttl)
+
+    # -- public API -------------------------------------------------------------
+    def read_files(self, files: list[tuple[int, float]]):
+        """Process body: fetch every ``(file_id, nbytes)`` in ``files``.
+
+        Completes when all bytes have been delivered to this node.  Raises
+        :class:`~repro.core.fault_policy.UnrecoverableNodeFailure` under the
+        NoFT policy when a failure is declared mid-read, and
+        :class:`RoutingLoopError` if re-routing cannot converge.
+        """
+        pending = list(files)
+        max_rounds = self.detector.threshold * max(len(self.policy.placement.nodes), 1) + _MAX_EXTRA_ROUNDS
+        rounds = 0
+        while pending:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RoutingLoopError(
+                    f"client {self.node_id}: {len(pending)} files unserved after {rounds - 1} rounds"
+                )
+            groups = self._group_by_target(pending)
+            procs = []
+            for target_key, group in groups.items():
+                if target_key == "pfs":
+                    procs.append(self.env.process(self._fetch_pfs(group)))
+                else:
+                    procs.append(self.env.process(self._fetch_node(target_key, group)))
+            results = yield AllOf(self.env, procs)
+            pending = [f for proc in procs for f in (results[proc] or [])]
+        return None
+
+    # -- routing -----------------------------------------------------------------
+    def _group_by_target(self, files: list[tuple[int, float]]):
+        groups: dict = {}
+        for fid, nbytes in files:
+            target = self.policy.target_for(fid)
+            key = "pfs" if target.kind == "pfs" else target.node
+            groups.setdefault(key, []).append((fid, nbytes))
+        return groups
+
+    # -- fetch paths ----------------------------------------------------------------
+    def _fetch_pfs(self, files: list[tuple[int, float]]):
+        """Direct PFS read (Fig 3a path ③): bypasses the cache layer.
+
+        Client-side redirection passes the application's chunked reads
+        straight through to Lustre, hence the latency amplification —
+        unlike a server-side data-mover fetch (one sequential read).
+        """
+        total = sum(nb for _, nb in files)
+        t0 = self.env.now
+        yield from self.cluster.pfs.read(
+            total,
+            n_files=len(files),
+            amplification=self.cluster.config.pfs.redirect_read_amplification,
+        )
+        if self.tracer is not None:
+            self.tracer.record("client.pfs_redirect", self.node_id, t0, self.env.now, total)
+        self.metrics.add("client.pfs_direct_bytes", total)
+        self.metrics.inc("client.pfs_direct_files", len(files))
+        return []
+
+    def _fetch_node(self, node: int, files: list[tuple[int, float]]):
+        """RPC to the owning server; on timeout, drive detection and re-route."""
+        request = ReadRequest(files=tuple(files))
+        t0 = self.env.now
+        result = yield from self.fabric.call(self.node_id, node, request, ttl=self.ttl)
+        if self.tracer is not None:
+            kind = "client.rpc_read" if result.ok else "client.rpc_timeout"
+            nbytes = sum(nb for _, nb in files) if result.ok else 0.0
+            self.tracer.record(kind, self.node_id, t0, self.env.now, nbytes)
+        if result.ok:
+            self.detector.record_success(node)
+            served = result.value
+            if node == self.node_id:
+                self.metrics.add("client.local_bytes", served.served_bytes)
+            else:
+                self.metrics.add("client.remote_bytes", served.served_bytes)
+            self.metrics.inc("client.files_read", len(files))
+            return []
+
+        # TTL expired: maybe a transient delay, maybe a dead node.
+        self.metrics.inc("client.rpc_timeouts")
+        declared = self.detector.record_timeout(node, now=self.env.now)
+        if declared:
+            self.metrics.inc("client.failures_declared")
+            self.metrics.record("client.declared_at", self.env.now, float(node))
+            if self.membership is not None and node in self.membership and self.membership.is_active(node):
+                self.membership.mark_failed(node)
+            # NoFT raises UnrecoverableNodeFailure here — propagating up
+            # through read_files and aborting the training job.
+            self.policy.on_node_failed(node)
+        # Unserved files go back to the routing loop; if the node was
+        # declared they will re-group to a new target, otherwise they retry
+        # the same node (and feed the timeout counter again).
+        return files

@@ -1,0 +1,80 @@
+"""POSIX-style interception facade over the HVAC client.
+
+On Frontier, FT-Cache is injected with ``LD_PRELOAD``: the DL framework
+calls ``open/read/close`` and the shared library reroutes them.  This
+facade reproduces that call shape for the simulated client so examples and
+tests can exercise the same three-call protocol the paper describes
+(Fig 3 step ①: "the HVAC client intercepts this request via LD_PRELOAD").
+
+File descriptors are small integers scoped to one interceptor instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .client import HvacClient
+
+__all__ = ["PosixInterceptor", "FileHandle"]
+
+
+@dataclass
+class FileHandle:
+    fd: int
+    path: str
+    file_id: int
+    nbytes: float
+    offset: float = 0.0
+    closed: bool = False
+
+
+class PosixInterceptor:
+    """``open/read/close`` façade; paths are resolved through a catalog.
+
+    ``catalog`` maps a path to ``(file_id, nbytes)`` — in the real system
+    this is the dataset directory listing; here the
+    :class:`~repro.dl.dataset.Dataset` provides it.
+    """
+
+    def __init__(self, client: HvacClient, catalog: dict[str, tuple[int, float]]):
+        self.client = client
+        self.catalog = dict(catalog)
+        self._next_fd = 3  # 0/1/2 are stdio, as tradition demands
+        self._open: dict[int, FileHandle] = {}
+
+    def open(self, path: str) -> FileHandle:
+        """Resolve ``path`` and return a handle (no I/O yet, like O_RDONLY open)."""
+        try:
+            file_id, nbytes = self.catalog[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+        handle = FileHandle(fd=self._next_fd, path=path, file_id=file_id, nbytes=nbytes)
+        self._next_fd += 1
+        self._open[handle.fd] = handle
+        return handle
+
+    def read(self, handle: FileHandle, nbytes: float | None = None):
+        """Process body: read up to ``nbytes`` (default: the rest of the file).
+
+        Returns the number of bytes read (0 at EOF), matching POSIX read
+        semantics closely enough for a data loader.
+        """
+        if handle.closed:
+            raise ValueError(f"read on closed fd {handle.fd}")
+        remaining = handle.nbytes - handle.offset
+        if remaining <= 0:
+            return 0.0
+        amount = remaining if nbytes is None else min(nbytes, remaining)
+        yield from self.client.read_files([(handle.file_id, amount)])
+        handle.offset += amount
+        return amount
+
+    def close(self, handle: FileHandle) -> None:
+        if handle.closed:
+            return
+        handle.closed = True
+        self._open.pop(handle.fd, None)
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)

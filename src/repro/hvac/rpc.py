@@ -1,0 +1,99 @@
+"""Mercury-like RPC over the simulated interconnect.
+
+HVAC's client/server speak Mercury RPC on Frontier; this module gives the
+simulation the same observable semantics:
+
+* a request is a small message to the server's mailbox;
+* the response is a (possibly large) payload back to the caller;
+* a dead server silently never answers — the *only* failure signal a
+  client gets is its own TTL expiring (Sec IV-A's timeout-based detection
+  relies on exactly this).
+
+Requests already in flight to a node when it dies are dropped at delivery;
+requests being *served* when it dies produce no response either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..sim import AnyOf, Environment, Event, Store
+from ..cluster.topology import Cluster
+
+__all__ = ["RpcFabric", "RpcEnvelope", "RpcResult", "REQUEST_WIRE_BYTES"]
+
+#: size of a serialized read request on the wire (header + file list)
+REQUEST_WIRE_BYTES = 1024.0
+
+
+@dataclass
+class RpcEnvelope:
+    """A delivered request awaiting service."""
+
+    src: int
+    payload: Any
+    reply: Event
+    sent_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class RpcResult:
+    """Outcome of one call: a value, or a timeout."""
+
+    ok: bool
+    value: Any = None
+    timed_out: bool = False
+
+
+class RpcFabric:
+    """Per-node mailboxes plus a timeout-aware call primitive."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self._mailboxes: dict[int, Store] = {}
+        self.calls = 0
+        self.timeouts = 0
+
+    def register(self, node_id: int) -> Store:
+        """Create (or fetch) the server mailbox for ``node_id``."""
+        box = self._mailboxes.get(node_id)
+        if box is None:
+            box = Store(self.env)
+            self._mailboxes[node_id] = box
+        return box
+
+    def call(self, src: int, dst: int, payload: Any, ttl: float):
+        """Process body: request/response with a TTL.
+
+        Returns an :class:`RpcResult`.  A late response (arriving after the
+        TTL fired) is discarded — matching a client that has already moved
+        on; the version check is implicit because each call owns a fresh
+        reply event.
+        """
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.calls += 1
+        env = self.env
+        reply = Event(env)
+        # Request wire time: the fabric charges it even if the target is
+        # already dead (the sender cannot know).
+        yield from self.cluster.network.send(src, dst, REQUEST_WIRE_BYTES)
+        if self.cluster.nodes[dst].alive:
+            box = self._mailboxes.get(dst)
+            if box is not None:
+                box.put(RpcEnvelope(src=src, payload=payload, reply=reply, sent_at=env.now))
+        # else: dropped on the floor — only the TTL will tell.
+        deadline = env.timeout(ttl)
+        fired = yield AnyOf(env, [reply, deadline])
+        if reply in fired:
+            return RpcResult(ok=True, value=reply.value)
+        self.timeouts += 1
+        return RpcResult(ok=False, timed_out=True)
+
+    def respond(self, envelope: RpcEnvelope, server_node: int, value: Any, nbytes: float):
+        """Process body (server side): ship ``nbytes`` back and resolve the call."""
+        yield from self.cluster.network.send(server_node, envelope.src, nbytes)
+        if not envelope.reply.triggered:
+            envelope.reply.succeed(value)

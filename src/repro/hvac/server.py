@@ -1,0 +1,169 @@
+"""HVAC server: the per-node cache daemon.
+
+One server runs on every compute node (Sec II-B).  It serves read requests
+from any client: a **hit** streams from local NVMe; a **miss** fetches from
+the PFS, serves the bytes, and hands the data to an asynchronous *data
+mover* that writes them to NVMe for future epochs — the exact three-step
+"retrieve → serve → cache" sequence of Sec IV-B, which is also what makes
+elastic recaching cost only one extra PFS access per lost file.
+
+The server dies with its node: a failure event interrupts the accept loop
+and any in-flight handlers stop responding (clients see TTL expiry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.topology import Cluster
+from ..metrics import MetricsCollector
+from ..metrics.trace import Tracer
+from ..sim import AnyOf, Process
+from .cache_store import CacheStore
+from .rpc import RpcEnvelope, RpcFabric
+
+__all__ = ["HvacServer", "ReadRequest", "ReadResponse"]
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Client → server: fetch these files (aggregated per batch+target)."""
+
+    files: tuple[tuple[int, float], ...]  # (file_id, nbytes)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(nb for _, nb in self.files)
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    """Server → client: everything served, with provenance split."""
+
+    served_bytes: float
+    hit_files: int
+    miss_files: int
+
+
+class HvacServer:
+    """Cache daemon for one node; spawn with :meth:`start`."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        fabric: RpcFabric,
+        metrics: Optional[MetricsCollector] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.node_id = node_id
+        self.node = cluster.nodes[node_id]
+        self.fabric = fabric
+        self.store = CacheStore(self.node.nvme)
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.tracer = tracer
+        self._proc: Optional[Process] = None
+        #: file ids currently being recached (muted duplicate PFS fetches)
+        self._inflight_misses: set[int] = set()
+
+    def start(self) -> Process:
+        if self._proc is not None:
+            raise RuntimeError(f"server {self.node_id} already started")
+        self._proc = self.env.process(self._accept_loop(), name=f"hvac-server-{self.node_id}")
+        return self._proc
+
+    # -- accept loop ------------------------------------------------------------
+    def _accept_loop(self):
+        mailbox = self.fabric.register(self.node_id)
+        failed = self.node.failed_event
+        while self.node.alive:
+            get_evt = mailbox.get()
+            fired = yield AnyOf(self.env, [get_evt, failed])
+            if failed in fired:
+                return  # node is down; pending requests go unanswered
+            envelope: RpcEnvelope = fired[get_evt]
+            self.env.process(self._handle(envelope), name=f"hvac-handler-{self.node_id}")
+
+    # -- request handling ----------------------------------------------------------
+    def _handle(self, envelope: RpcEnvelope):
+        request: ReadRequest = envelope.payload
+        hits: list[tuple[int, float]] = []
+        misses: list[tuple[int, float]] = []
+        for fid, nbytes in request.files:
+            if fid in self.store:
+                self.store.touch(fid)
+                hits.append((fid, nbytes))
+            else:
+                misses.append((fid, nbytes))
+
+        hit_bytes = sum(nb for _, nb in hits)
+        miss_bytes = sum(nb for _, nb in misses)
+
+        if hits:
+            t0 = self.env.now
+            yield from self.node.nvme.read(hit_bytes)
+            if self.tracer is not None:
+                self.tracer.record("server.nvme_read", self.node_id, t0, self.env.now, hit_bytes)
+            self.metrics.add("server.hit_bytes", hit_bytes)
+            self.metrics.inc("server.hit_files", len(hits))
+        if misses:
+            # First epoch after a failure (or the cold first epoch): fetch
+            # from the PFS, then recache asynchronously via the data mover.
+            t0 = self.env.now
+            yield from self.cluster.pfs.read(miss_bytes, n_files=len(misses))
+            if self.tracer is not None:
+                self.tracer.record("server.pfs_fetch", self.node_id, t0, self.env.now, miss_bytes)
+            self.metrics.add("server.miss_bytes", miss_bytes)
+            self.metrics.inc("server.miss_files", len(misses))
+            self._recache(misses)
+
+        if not self.node.alive:
+            return  # died while serving: never respond
+        self.metrics.bump("server.served_files", self.node_id, len(request.files))
+        self.metrics.bump("server.served_bytes", self.node_id, hit_bytes + miss_bytes)
+        response = ReadResponse(
+            served_bytes=hit_bytes + miss_bytes, hit_files=len(hits), miss_files=len(misses)
+        )
+        yield from self.fabric.respond(envelope, self.node_id, response, response.served_bytes)
+
+    def _recache(self, files: list[tuple[int, float]]) -> None:
+        """Data-mover thread: admit entries now, write bytes in the background.
+
+        Entries are marked cached immediately so concurrent requests for the
+        same file don't trigger duplicate PFS fetches; the NVMe write cost is
+        still paid (asynchronously) on the device's write channel.
+        """
+        new = [
+            (fid, nb)
+            for fid, nb in files
+            if fid not in self._inflight_misses and fid not in self.store
+        ]
+        if not new:
+            return
+        total = 0.0
+        for fid, nbytes in new:
+            self._inflight_misses.add(fid)
+            self.store.put(fid, nbytes)
+            total += nbytes
+        self.metrics.add("server.recache_bytes", total)
+        self.metrics.inc("server.recache_files", len(new))
+
+        def _mover():
+            yield from self.node.nvme.write(total, reserve=False)
+            for fid, _ in new:
+                self._inflight_misses.discard(fid)
+
+        self.env.process(_mover(), name=f"data-mover-{self.node_id}")
+
+    # -- warm start ---------------------------------------------------------------
+    def preload(self, files: list[tuple[int, float]]) -> None:
+        """Instantly populate the cache (test/experiment setup helper).
+
+        Bypasses simulated I/O: used to start an experiment in the
+        "cache fully populated" state without simulating epoch 1.
+        """
+        for fid, nbytes in files:
+            self.store.put(fid, nbytes)

@@ -1,0 +1,22 @@
+"""Metrics: counters, run timelines, and summary statistics."""
+
+from .collector import MetricsCollector
+from .stats import Summary, percent_change, speedup, summarize
+from .timeline import EpochRecord, FailureRecord, Timeline
+from .run_report import render_run_report
+from .trace import Span, TraceAnalysis, Tracer
+
+__all__ = [
+    "MetricsCollector",
+    "Summary",
+    "percent_change",
+    "speedup",
+    "summarize",
+    "EpochRecord",
+    "FailureRecord",
+    "Timeline",
+    "render_run_report",
+    "Span",
+    "TraceAnalysis",
+    "Tracer",
+]

@@ -1,0 +1,75 @@
+"""Lightweight metrics: named counters, accumulators, and histograms.
+
+Every layer of the stack (HVAC client/server, PFS, training loop) writes
+into one shared :class:`MetricsCollector`; the experiment harness reads it
+back to build the paper's tables.  Counters are plain dict slots — cheap
+enough to leave enabled in every run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Counters (`inc`), sums (`add`), and per-key histograms (`bump`)."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = defaultdict(float)
+        self.histograms: dict[str, dict[Hashable, float]] = defaultdict(lambda: defaultdict(float))
+        self.series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    # -- counters ---------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def add(self, name: str, amount: float) -> None:
+        self.counters[name] += amount
+
+    def get(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    # -- per-key histograms --------------------------------------------------------
+    def bump(self, name: str, key: Hashable, amount: float = 1.0) -> None:
+        self.histograms[name][key] += amount
+
+    def histogram(self, name: str) -> dict[Hashable, float]:
+        return dict(self.histograms.get(name, {}))
+
+    def histogram_array(self, name: str, keys: list[Hashable]) -> np.ndarray:
+        h = self.histograms.get(name, {})
+        return np.array([h.get(k, 0.0) for k in keys], dtype=np.float64)
+
+    # -- time series -------------------------------------------------------------------
+    def record(self, name: str, t: float, value: float) -> None:
+        self.series[name].append((t, value))
+
+    def series_arrays(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        pts = self.series.get(name, [])
+        if not pts:
+            return np.empty(0), np.empty(0)
+        arr = np.asarray(pts, dtype=np.float64)
+        return arr[:, 0], arr[:, 1]
+
+    # -- export -----------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Flat copy of all counters (stable for assertions/serialisation)."""
+        return dict(self.counters)
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold ``other``'s counters/histograms into this collector."""
+        for k, v in other.counters.items():
+            self.counters[k] += v
+        for name, hist in other.histograms.items():
+            for key, v in hist.items():
+                self.histograms[name][key] += v
+        for name, pts in other.series.items():
+            self.series[name].extend(pts)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MetricsCollector({len(self.counters)} counters)"

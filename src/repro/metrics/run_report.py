@@ -1,0 +1,117 @@
+"""Human-readable post-run report for a training job.
+
+Folds the timeline, metrics counters, and (when tracing was enabled) the
+operation-level trace into one text document — the page an operator reads
+after a run to understand where the time and the bytes went, and what the
+failures cost.  Works for both engines: the DES
+:class:`~repro.dl.training.TrainingResult` carries everything; the fluid
+:class:`~repro.dl.fastsim.FluidResult` produces the subset it tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..viz.text import heading, render_table
+from .collector import MetricsCollector
+from .trace import Tracer
+
+__all__ = ["render_run_report"]
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    for unit, div in (("TB", 1e12), ("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if abs(nbytes) >= div:
+            return f"{nbytes / div:.2f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def _epoch_section(result: Any) -> str:
+    rows = []
+    for rec in result.timeline.epochs:
+        rows.append(
+            (
+                rec.epoch,
+                f"{rec.start:.1f}s",
+                f"{rec.duration:.1f}s" if rec.end is not None else "(unfinished)",
+                rec.n_nodes,
+                rec.restarts,
+                "victim" if rec.victim else "",
+            )
+        )
+    return render_table(["Epoch", "Start", "Duration", "Nodes", "Restarts", ""], rows)
+
+
+def _failure_section(result: Any) -> str:
+    if not result.timeline.failures:
+        return "no failures injected"
+    rows = [
+        (f"{f.time:.1f}s", f.node_id, f.epoch) for f in result.timeline.failures
+    ]
+    return render_table(["Time", "Node", "During epoch"], rows)
+
+
+def _io_section(metrics: MetricsCollector) -> str:
+    pairs = [
+        ("served from cache (local)", "client.local_bytes"),
+        ("served from cache (remote)", "client.remote_bytes"),
+        ("server PFS fetches (miss/recache)", "server.miss_bytes"),
+        ("client PFS redirects", "client.pfs_direct_bytes"),
+        ("recached to NVMe", "server.recache_bytes"),
+        ("proactively prefetched", "proactive.bytes"),
+        ("pre-staged (warmup)", "warmup.bytes"),
+    ]
+    rows = [(label, _fmt_bytes(metrics.get(key))) for label, key in pairs if metrics.get(key) > 0]
+    hit_files = metrics.get("server.hit_files")
+    miss_files = metrics.get("server.miss_files")
+    if hit_files + miss_files > 0:
+        rows.append(("cache hit rate (files)", f"{100 * hit_files / (hit_files + miss_files):.1f}%"))
+    if metrics.get("client.rpc_timeouts") > 0:
+        rows.append(("RPC timeouts", f"{metrics.get('client.rpc_timeouts'):.0f}"))
+    if metrics.get("client.failures_declared") > 0:
+        rows.append(("failures declared", f"{metrics.get('client.failures_declared'):.0f}"))
+    if not rows:
+        return "no I/O recorded"
+    return render_table(["Category", "Amount"], rows)
+
+
+def _trace_section(tracer: Tracer) -> str:
+    a = tracer.analyze()
+    if not a.spans:
+        return "trace enabled but empty"
+    rows = []
+    for kind, count, gb, mean, p50, p99 in a.breakdown_table():
+        rows.append((kind, count, f"{gb:.2f} GB", f"{mean * 1e3:.2f} ms", f"{p99 * 1e3:.2f} ms"))
+    return render_table(["Operation", "Count", "Bytes", "Mean", "p99"], rows)
+
+
+def render_run_report(result: Any, tracer: Optional[Tracer] = None) -> str:
+    """Render one training run as a multi-section text report.
+
+    ``result`` is a :class:`~repro.dl.training.TrainingResult` or
+    :class:`~repro.dl.fastsim.FluidResult`; pass the job's tracer to add
+    the operation-latency section.
+    """
+    out = [heading(f"Run report — {result.policy_name}")]
+    status = "completed" if result.completed else f"ABORTED ({result.abort_reason})"
+    out.append(
+        f"nodes {result.n_nodes_start} → {result.n_nodes_end} | {status} | "
+        f"total {result.total_time:.1f}s ({result.total_time / 60:.2f} min) | "
+        f"{result.failures} failure(s), {result.restarts} elastic restart(s)"
+    )
+    out.append("")
+    out.append(heading("Epochs", "-"))
+    out.append(_epoch_section(result))
+    out.append("")
+    out.append(heading("Failures", "-"))
+    out.append(_failure_section(result))
+    metrics = getattr(result, "metrics", None)
+    if isinstance(metrics, MetricsCollector):
+        out.append("")
+        out.append(heading("I/O breakdown", "-"))
+        out.append(_io_section(metrics))
+    if tracer is not None:
+        out.append("")
+        out.append(heading("Operation latencies (trace)", "-"))
+        out.append(_trace_section(tracer))
+    return "\n".join(out)

@@ -1,0 +1,57 @@
+"""Small statistics helpers shared by experiments and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "percent_change", "speedup"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of repeated measurements."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+    median: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.n})"
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        min=float(arr.min()),
+        max=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """``(value - baseline) / baseline`` in percent (paper's overhead metric)."""
+    if baseline == 0:
+        raise ValueError("baseline must be nonzero")
+    return 100.0 * (value - baseline) / baseline
+
+
+def speedup(slow: float, fast: float) -> float:
+    """Percent runtime reduction of ``fast`` relative to ``slow``.
+
+    This is the paper's headline metric form: "FT w/ NVMe … outperforming
+    FT w/ PFS by 24.9%" means ``speedup(t_pfs, t_nvme) == 24.9``.
+    """
+    if slow == 0:
+        raise ValueError("slow must be nonzero")
+    return 100.0 * (slow - fast) / slow

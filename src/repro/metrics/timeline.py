@@ -1,0 +1,74 @@
+"""Epoch/step timeline recording for training runs.
+
+The experiment harness needs per-epoch wall-clock (Fig 6a's victim-epoch
+analysis) and markers for failures and elastic restarts; this module keeps
+those as typed records rather than ad-hoc tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["EpochRecord", "FailureRecord", "Timeline"]
+
+
+@dataclass
+class EpochRecord:
+    """One completed (or aborted-and-restarted) epoch."""
+
+    epoch: int
+    start: float
+    end: Optional[float] = None
+    n_nodes: int = 0
+    #: number of elastic rollbacks that interrupted this epoch
+    restarts: int = 0
+    #: True when a node failure occurred while this epoch ran (the paper's
+    #: "victim epoch", Fig 6a)
+    victim: bool = False
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"epoch {self.epoch} not finished")
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    time: float
+    node_id: int
+    epoch: int
+
+
+@dataclass
+class Timeline:
+    """Ordered record of epochs and failures for one training run."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    def begin_epoch(self, epoch: int, now: float, n_nodes: int) -> EpochRecord:
+        rec = EpochRecord(epoch=epoch, start=now, n_nodes=n_nodes)
+        self.epochs.append(rec)
+        return rec
+
+    def current_epoch(self) -> Optional[EpochRecord]:
+        return self.epochs[-1] if self.epochs else None
+
+    def note_failure(self, now: float, node_id: int, epoch: int) -> None:
+        self.failures.append(FailureRecord(time=now, node_id=node_id, epoch=epoch))
+        cur = self.current_epoch()
+        if cur is not None and cur.end is None:
+            cur.victim = True
+
+    def epoch_durations(self) -> dict[int, float]:
+        """Total wall-clock per epoch number, summing rollback attempts."""
+        out: dict[int, float] = {}
+        for rec in self.epochs:
+            if rec.end is not None:
+                out[rec.epoch] = out.get(rec.epoch, 0.0) + rec.duration
+        return out
+
+    def victim_epochs(self) -> list[int]:
+        return sorted({rec.epoch for rec in self.epochs if rec.victim})

@@ -1,0 +1,128 @@
+"""Operation-level tracing for simulated runs.
+
+A :class:`Tracer` records ``(start, end, kind, node, bytes)`` spans from
+the HVAC client/server; the analysis side turns them into the latency
+breakdowns an I/O paper lives on — per-operation percentiles, bandwidth
+attribution, and time-bucketed concurrency.  Tracing is off by default
+(``TrainingJob(..., trace=True)`` enables it) and costs one append per
+operation when on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .stats import Summary, summarize
+
+__all__ = ["Span", "Tracer", "TraceAnalysis"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced operation."""
+
+    kind: str
+    node: int
+    t_start: float
+    t_end: float
+    nbytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Tracer:
+    """Append-only span recorder (cheap enough to leave on in tests)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+
+    def record(self, kind: str, node: int, t_start: float, t_end: float, nbytes: float = 0.0) -> None:
+        if not self.enabled:
+            return
+        if t_end < t_start:
+            raise ValueError(f"span ends before it starts ({t_start} > {t_end})")
+        self.spans.append(Span(kind=kind, node=node, t_start=t_start, t_end=t_end, nbytes=nbytes))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def analyze(self) -> "TraceAnalysis":
+        return TraceAnalysis(self.spans)
+
+
+class TraceAnalysis:
+    """Queries over a span list."""
+
+    def __init__(self, spans: list[Span]):
+        self.spans = list(spans)
+
+    @property
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted({s.kind for s in self.spans}))
+
+    def of_kind(self, kind: str) -> list[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    def durations(self, kind: Optional[str] = None) -> np.ndarray:
+        spans = self.spans if kind is None else self.of_kind(kind)
+        return np.array([s.duration for s in spans], dtype=np.float64)
+
+    def percentiles(self, kind: str, qs: tuple[float, ...] = (50, 90, 99)) -> dict[float, float]:
+        """Latency percentiles in seconds for one operation kind."""
+        d = self.durations(kind)
+        if d.size == 0:
+            raise ValueError(f"no spans of kind {kind!r}")
+        return {q: float(np.percentile(d, q)) for q in qs}
+
+    def summary(self, kind: str) -> Summary:
+        return summarize(self.durations(kind))
+
+    def total_bytes(self, kind: Optional[str] = None) -> float:
+        spans = self.spans if kind is None else self.of_kind(kind)
+        return float(sum(s.nbytes for s in spans))
+
+    def per_node_bytes(self, kind: Optional[str] = None) -> dict[int, float]:
+        out: dict[int, float] = {}
+        for s in self.spans if kind is None else self.of_kind(kind):
+            out[s.node] = out.get(s.node, 0.0) + s.nbytes
+        return out
+
+    def concurrency(self, kind: str, at: float) -> int:
+        """Spans of ``kind`` in flight at simulation time ``at``."""
+        return sum(1 for s in self.of_kind(kind) if s.t_start <= at < s.t_end)
+
+    def peak_concurrency(self, kind: str) -> int:
+        """Maximum simultaneous in-flight spans of ``kind`` (sweep line)."""
+        events: list[tuple[float, int]] = []
+        for s in self.of_kind(kind):
+            events.append((s.t_start, 1))
+            events.append((s.t_end, -1))
+        events.sort()
+        cur = peak = 0
+        for _, d in events:
+            cur += d
+            peak = max(peak, cur)
+        return peak
+
+    def breakdown_table(self) -> list[tuple[str, int, float, float, float, float]]:
+        """(kind, count, total GB, mean s, p50 s, p99 s) per kind."""
+        rows = []
+        for kind in self.kinds:
+            d = self.durations(kind)
+            rows.append(
+                (
+                    kind,
+                    int(d.size),
+                    self.total_bytes(kind) / 1e9,
+                    float(d.mean()),
+                    float(np.percentile(d, 50)),
+                    float(np.percentile(d, 99)),
+                )
+            )
+        return rows

@@ -1,0 +1,31 @@
+"""Threaded FT-Cache runtime: real sockets, real files, same FT core.
+
+The laptop-scale twin of the simulated system — servers are threads,
+RPCs are TCP, the PFS is a shared directory — sharing the placement and
+fault-tolerance logic from :mod:`repro.core` verbatim.
+"""
+
+from .chaos import ChaosAction, ChaosMonkey
+from .client import FTCacheClient, ReadError
+from .cluster import LocalCluster
+from .dataloader import CachedDataLoader
+from .protocol import Message, ProtocolError, recv_message, send_message
+from .server import FTCacheServer, ServerStats
+from .storage import NVMeDir, PFSDir
+
+__all__ = [
+    "ChaosAction",
+    "ChaosMonkey",
+    "FTCacheClient",
+    "ReadError",
+    "LocalCluster",
+    "CachedDataLoader",
+    "Message",
+    "ProtocolError",
+    "recv_message",
+    "send_message",
+    "FTCacheServer",
+    "ServerStats",
+    "NVMeDir",
+    "PFSDir",
+]

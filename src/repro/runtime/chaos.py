@@ -1,0 +1,118 @@
+"""Chaos harness for the threaded runtime.
+
+Randomly kills (and optionally repairs) cache servers while real client
+traffic flows — the sustained-failure torture test a fault-tolerant cache
+has to survive before anyone should trust it.  Used by the chaos test
+suite and runnable from :mod:`examples`.
+
+The monkey respects a ``min_alive`` floor (a cluster with zero servers is
+not an interesting failure mode for a *cache* — the PFS is still the
+source of truth) and records every action with its timestamp so tests can
+correlate observed client behaviour with injected events.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .cluster import LocalCluster
+
+__all__ = ["ChaosMonkey", "ChaosAction"]
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    t: float
+    kind: str  # "kill" | "restart"
+    node_id: int
+
+
+@dataclass
+class ChaosMonkey:
+    """Background kill/repair loop against a :class:`LocalCluster`."""
+
+    cluster: LocalCluster
+    #: mean seconds between chaos events
+    interval: float = 0.5
+    #: probability an event repairs a dead node instead of killing one
+    restart_prob: float = 0.4
+    #: never drop below this many live servers
+    min_alive: int = 1
+    kill_mode: str = "hang"
+    seed: int = 0
+    actions: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if not (0.0 <= self.restart_prob <= 1.0):
+            raise ValueError("restart_prob must be in [0, 1]")
+        if self.min_alive < 1:
+            raise ValueError("min_alive must be >= 1")
+        self._rng = np.random.default_rng(self.seed)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._t0 = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> "ChaosMonkey":
+        if self._thread is not None:
+            raise RuntimeError("chaos monkey already unleashed")
+        self._thread = threading.Thread(target=self._run, name="chaos-monkey", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosMonkey":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the loop --------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            gap = float(self._rng.exponential(self.interval))
+            if self._stop.wait(timeout=min(gap, 2.0)):
+                return
+            self._one_event()
+
+    def _one_event(self) -> None:
+        alive = self.cluster.alive_servers
+        dead = [i for i in self.cluster.servers if i not in alive]
+        do_restart = dead and (self._rng.random() < self.restart_prob or len(alive) <= self.min_alive)
+        if do_restart:
+            node = int(dead[int(self._rng.integers(0, len(dead)))])
+            self.cluster.restart_server(node)
+            self._record("restart", node)
+        elif len(alive) > self.min_alive:
+            node = int(alive[int(self._rng.integers(0, len(alive)))])
+            self.cluster.kill_server(node, mode=self.kill_mode)
+            self._record("kill", node)
+
+    def _record(self, kind: str, node: int) -> None:
+        self.actions.append(ChaosAction(t=time.monotonic() - self._t0, kind=kind, node_id=node))
+
+    # -- reporting -------------------------------------------------------------------
+    @property
+    def kills(self) -> int:
+        return sum(1 for a in self.actions if a.kind == "kill")
+
+    @property
+    def restarts(self) -> int:
+        return sum(1 for a in self.actions if a.kind == "restart")
+
+    def summary(self) -> str:
+        return (
+            f"chaos: {self.kills} kills, {self.restarts} restarts over "
+            f"{self.actions[-1].t:.1f}s" if self.actions else "chaos: no events"
+        )

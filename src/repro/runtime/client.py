@@ -1,0 +1,231 @@
+"""Threaded FT-Cache client: real sockets, the *same* fault-tolerance core.
+
+This client and the simulated one (:mod:`repro.hvac.client`) share the
+placement policies, fault policies, and failure detector from
+:mod:`repro.core` — the detection/re-routing logic is written once and
+exercised in both worlds.  The flow is the paper's Figure 3:
+
+1. hash the path → owning server (or PFS, per policy);
+2. RPC with a socket timeout of ``ttl``;
+3. timeout/refused connection feeds the detector; at threshold the node
+   is declared failed, the policy reacts (abort / redirect / re-ring);
+4. unserved reads re-route and retry.
+
+Thread safety: a client may be shared by loader workers; the connection
+pool is per-thread, and policy/detector mutations take a lock.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Hashable, Optional
+
+from ..core.failure_detector import TimeoutFailureDetector
+from ..core.fault_policy import FaultPolicy
+from ..core.replication import ReplicatedRecache
+from .protocol import OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
+from .storage import PFSDir
+
+__all__ = ["FTCacheClient", "ReadError"]
+
+NodeId = Hashable
+
+
+class ReadError(RuntimeError):
+    """A read failed for a non-failure reason (e.g. missing file)."""
+
+
+class _ConnectionPool(threading.local):
+    """Per-thread socket cache keyed by address."""
+
+    def __init__(self) -> None:
+        self.conns: dict[tuple[str, int], socket.socket] = {}
+
+
+class FTCacheClient:
+    """Fault-tolerant cache client over TCP."""
+
+    def __init__(
+        self,
+        servers: dict,
+        policy: FaultPolicy,
+        pfs: PFSDir,
+        ttl: float = 1.0,
+        timeout_threshold: int = 3,
+        max_reroute_rounds: int = 32,
+    ):
+        """``servers`` maps node id → ``(host, port)``."""
+        self.servers = dict(servers)
+        self.policy = policy
+        self.pfs = pfs
+        self.detector = TimeoutFailureDetector(ttl=ttl, threshold=timeout_threshold)
+        self.max_reroute_rounds = max_reroute_rounds
+        self._pool = _ConnectionPool()
+        self._policy_lock = threading.Lock()
+        self.stats = {
+            "cache_reads": 0,
+            "pfs_direct_reads": 0,
+            "timeouts": 0,
+            "declared": 0,
+            "failovers": 0,
+            "replica_pushes": 0,
+        }
+        self._stats_lock = threading.Lock()
+
+    # -- public API --------------------------------------------------------------
+    def read(self, path: str) -> bytes:
+        """Read one file through the cache layer (blocking, thread-safe).
+
+        Under a :class:`~repro.core.replication.ReplicatedRecache` policy a
+        timed-out primary fails over to the next surviving replica *within
+        the same read* (the detector still counts the timeout toward
+        declaration), and any bytes that had to come from the PFS are
+        pushed to the remaining replicas in the background.
+        """
+        for _ in range(self.max_reroute_rounds):
+            candidates = self._candidates(path)
+            if candidates is None:  # policy says PFS
+                self._bump(pfs_direct_reads=1)
+                return self.pfs.read(path)
+            for i, node in enumerate(candidates):
+                if i > 0:
+                    self._bump(failovers=1)
+                outcome = self._rpc_read(node, path)
+                if outcome is not None:
+                    data, source = outcome
+                    if source == "pfs":
+                        self._push_replicas(path, data, served_by=node)
+                    return data
+                # timeout / refused: feed the detector and maybe declare.
+                self._bump(timeouts=1)
+                if self.detector.record_timeout(node):
+                    self._bump(declared=1)
+                    with self._policy_lock:
+                        # NoFT raises UnrecoverableNodeFailure out of here.
+                        self.policy.on_node_failed(node)
+        raise ReadError(f"could not read {path!r} after {self.max_reroute_rounds} attempts")
+
+    def _candidates(self, path: str) -> Optional[list]:
+        """Ordered server targets for this read, or None for direct PFS."""
+        with self._policy_lock:
+            if isinstance(self.policy, ReplicatedRecache):
+                return self.policy.read_candidates(path)
+            target = self.policy.target_for(path)
+        if target.kind == "pfs":
+            return None
+        return [target.node]
+
+    def _push_replicas(self, path: str, data: bytes, served_by) -> None:
+        """Background write-through of a PFS-sourced read to the other replicas."""
+        if not isinstance(self.policy, ReplicatedRecache) or self.policy.replicas < 2:
+            return
+        with self._policy_lock:
+            targets = [
+                n
+                for n in set(self.policy.replica_targets(path))
+                if n != served_by and n not in self.policy.failed_nodes
+            ]
+        if not targets:
+            return
+
+        def _push() -> None:
+            for node in targets:
+                try:
+                    with socket.create_connection(self._addr(node), timeout=self.detector.ttl) as sock:
+                        sock.settimeout(self.detector.ttl)
+                        msg = Message.request(OP_PUT, path=path)
+                        msg.payload = data
+                        send_message(sock, msg)
+                        resp = recv_message(sock)
+                        if resp.ok:
+                            self._bump(replica_pushes=1)
+                except OSError:
+                    continue
+
+        threading.Thread(target=_push, name="replica-push", daemon=True).start()
+
+    def read_many(self, paths: list[str]) -> list[bytes]:
+        return [self.read(p) for p in paths]
+
+    def admit_node(self, node: NodeId, addr: tuple) -> None:
+        """(Re-)admit a server: elastic scale-up / rejoin after repair.
+
+        Updates the address book, clears the node's detector history, and
+        re-adds it to the placement — keys that lived there before the
+        failure flow back, and (for a rejoining node) its cache directory
+        still holds them, so the rejoin is warm.
+        """
+        self.servers[node] = tuple(addr)
+        self._drop_conn(node)
+        self.detector.reset(node)
+        with self._policy_lock:
+            self.policy.on_node_joined(node)
+
+    def server_stat(self, node: NodeId) -> Optional[dict]:
+        """STAT one server (None on timeout); for tests and monitoring."""
+        try:
+            sock = self._connect(node)
+            send_message(sock, Message.request(OP_STAT))
+            resp = recv_message(sock)
+            return dict(resp.header) if resp.ok else None
+        except OSError:
+            self._drop_conn(node)
+            return None
+
+    # -- internals -----------------------------------------------------------------
+    def _bump(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for k, d in deltas.items():
+                self.stats[k] += d
+
+    def _addr(self, node: NodeId) -> tuple[str, int]:
+        try:
+            return self.servers[node]
+        except KeyError:
+            raise ReadError(f"unknown server node {node!r}") from None
+
+    def _connect(self, node: NodeId) -> socket.socket:
+        addr = self._addr(node)
+        sock = self._pool.conns.get(addr)
+        if sock is None:
+            sock = socket.create_connection(addr, timeout=self.detector.ttl)
+            sock.settimeout(self.detector.ttl)
+            self._pool.conns[addr] = sock
+        return sock
+
+    def _drop_conn(self, node: NodeId) -> None:
+        addr = self.servers.get(node)
+        sock = self._pool.conns.pop(addr, None) if addr else None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _rpc_read(self, node: NodeId, path: str) -> Optional[tuple[bytes, str]]:
+        """One READ attempt: ``(data, source)``, or None on timeout/refusal."""
+        try:
+            sock = self._connect(node)
+            send_message(sock, Message.request(OP_READ, path=path))
+            resp = recv_message(sock)
+        except (socket.timeout, TimeoutError, ConnectionError, OSError):
+            # A dead node manifests as either a hang (socket timeout) or a
+            # refused/reset connection — both count toward the threshold.
+            self._drop_conn(node)
+            return None
+        if resp.ok:
+            self.detector.record_success(node)
+            self._bump(cache_reads=1)
+            return resp.payload, resp.header.get("source", "cache")
+        if resp.header.get("code") == "ENOENT":
+            raise ReadError(f"no such file: {path}")
+        raise ReadError(f"server error for {path!r}: {resp.header.get('reason')}")
+
+    def close(self) -> None:
+        for sock in self._pool.conns.values():
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._pool.conns.clear()

@@ -1,0 +1,158 @@
+"""In-process cluster manager for the threaded runtime.
+
+Spins up ``n`` :class:`~repro.runtime.server.FTCacheServer` threads over
+per-node cache directories and one shared PFS directory, wires a
+fault-tolerant client to them, and offers kill-based failure injection —
+the laptop-scale twin of a Frontier allocation.
+
+Typical use (also ``examples/runtime_cluster.py``)::
+
+    with LocalCluster(n_servers=4, workdir=tmp, policy="nvme") as cluster:
+        cluster.populate(n_files=64, file_bytes=1 << 16)
+        client = cluster.client()
+        data = client.read(cluster.paths[0])     # miss → PFS → recached
+        cluster.kill_server(cluster.owner_of(cluster.paths[0]))
+        data = client.read(cluster.paths[0])     # TTL → declare → re-route
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..core.fault_policy import FaultPolicy, make_policy
+from ..core.replication import ReplicatedRecache
+from ..core.hash_ring import HashRing
+from ..core.static_hash import StaticHash
+from .client import FTCacheClient
+from .server import FTCacheServer
+from .storage import NVMeDir, PFSDir
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """n threaded cache servers + shared PFS dir + failure injection."""
+
+    def __init__(
+        self,
+        n_servers: int = 4,
+        workdir: Optional[str | Path] = None,
+        policy: str = "nvme",
+        vnodes_per_node: int = 100,
+        ttl: float = 0.5,
+        timeout_threshold: int = 2,
+        pfs_read_delay: float = 0.0,
+        nvme_capacity_bytes: Optional[int] = None,
+        replicas: int = 2,
+    ):
+        if n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        self.policy_name = policy
+        self.replicas = replicas
+        self.ttl = ttl
+        self.timeout_threshold = timeout_threshold
+        self._owns_workdir = workdir is None
+        self.workdir = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="ftcache-"))
+        self.pfs = PFSDir(self.workdir / "pfs", read_delay=pfs_read_delay)
+        self.servers: dict[int, FTCacheServer] = {}
+        for i in range(n_servers):
+            nvme = NVMeDir(self.workdir / f"nvme{i}", capacity_bytes=nvme_capacity_bytes)
+            self.servers[i] = FTCacheServer(i, nvme, self.pfs).start()
+        self.vnodes_per_node = vnodes_per_node
+        self.paths: list[str] = []
+        self._clients: list[FTCacheClient] = []
+
+    # -- construction helpers ---------------------------------------------------------
+    def _make_placement(self):
+        if self.policy_name in ("FT w/ NVMe", "nvme", "replicated", "FT w/ NVMe (replicated)"):
+            return HashRing(nodes=sorted(self.servers), vnodes_per_node=self.vnodes_per_node)
+        return StaticHash(nodes=sorted(self.servers))
+
+    def make_policy(self) -> FaultPolicy:
+        if self.policy_name in ("replicated", "FT w/ NVMe (replicated)"):
+            return ReplicatedRecache(self._make_placement(), replicas=self.replicas)
+        return make_policy(self.policy_name, self._make_placement())
+
+    def client(self, policy: Optional[FaultPolicy] = None) -> FTCacheClient:
+        """A new fault-tolerant client (own policy instance by default)."""
+        c = FTCacheClient(
+            servers={i: s.address for i, s in self.servers.items()},
+            policy=policy if policy is not None else self.make_policy(),
+            pfs=self.pfs,
+            ttl=self.ttl,
+            timeout_threshold=self.timeout_threshold,
+        )
+        self._clients.append(c)
+        return c
+
+    # -- dataset ------------------------------------------------------------------------
+    def populate(self, n_files: int = 64, file_bytes: int = 4096, seed: int = 0) -> list[str]:
+        """Write a synthetic dataset into the PFS dir; returns the paths."""
+        rng = np.random.default_rng(seed)
+        self.paths = []
+        for i in range(n_files):
+            path = f"/dataset/train/sample_{i:06d}.bin"
+            self.pfs.write(path, rng.bytes(file_bytes))
+            self.paths.append(path)
+        return self.paths
+
+    def owner_of(self, path: str, policy: Optional[FaultPolicy] = None) -> int:
+        pol = policy if policy is not None else (self._clients[0].policy if self._clients else self.make_policy())
+        target = pol.target_for(path)
+        if target.kind != "node":
+            raise ValueError(f"{path!r} routes to the PFS under the current policy state")
+        return int(target.node)
+
+    # -- failure injection ----------------------------------------------------------------
+    def kill_server(self, node_id: int, mode: str = "hang") -> None:
+        """The DRAIN analogue: the server stops answering."""
+        self.servers[node_id].kill(mode=mode)
+
+    def restart_server(self, node_id: int, notify_clients: bool = True) -> FTCacheServer:
+        """Bring a killed node back (repair + elastic rejoin).
+
+        A fresh server starts over the node's existing cache directory —
+        entries written before the failure survive, so the rejoin is warm.
+        Clients created by this cluster are re-pointed at the new address
+        and their policies re-admit the node (keys flow back to it).
+        """
+        old = self.servers[node_id]
+        old.close()
+        nvme = NVMeDir(old.nvme.root)  # rescans surviving entries
+        fresh = FTCacheServer(node_id, nvme, self.pfs).start()
+        self.servers[node_id] = fresh
+        if notify_clients:
+            for c in self._clients:
+                c.admit_node(node_id, fresh.address)
+        return fresh
+
+    @property
+    def alive_servers(self) -> list[int]:
+        return [i for i, s in self.servers.items() if s.alive]
+
+    def total_stats(self) -> dict:
+        out = {"hits": 0, "misses": 0, "pfs_reads": 0, "recached": 0, "errors": 0}
+        for s in self.servers.values():
+            for k in out:
+                out[k] += getattr(s.stats, k)
+        return out
+
+    # -- lifecycle -----------------------------------------------------------------------
+    def close(self) -> None:
+        for c in self._clients:
+            c.close()
+        for s in self.servers.values():
+            s.close()
+        if self._owns_workdir:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,102 @@
+"""Wire protocol for the threaded FT-Cache runtime.
+
+Mercury-in-miniature over TCP: every message is a 4-byte big-endian
+length, a JSON header of that length, then ``header["payload_len"]`` raw
+bytes.  Requests carry an ``op`` (``READ`` / ``PING`` / ``STAT``);
+responses carry ``status`` plus op-specific fields.  The framing is
+symmetric, so one codec serves client and server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message", "send_message", "recv_message", "ProtocolError", "OP_READ", "OP_PING", "OP_STAT", "OP_PUT"]
+
+OP_READ = "READ"
+OP_PING = "PING"
+OP_STAT = "STAT"
+#: replica push: install payload bytes under a path (replication extension)
+OP_PUT = "PUT"
+
+STATUS_OK = "OK"
+STATUS_ERROR = "ERROR"
+
+_LEN = struct.Struct(">I")
+#: sanity bound on header size — anything bigger is a corrupt stream
+_MAX_HEADER = 1 << 20
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame on the wire."""
+
+
+@dataclass
+class Message:
+    """One framed message: JSON header + optional binary payload."""
+
+    header: dict = field(default_factory=dict)
+    payload: bytes = b""
+
+    @property
+    def op(self) -> Optional[str]:
+        return self.header.get("op")
+
+    @property
+    def status(self) -> Optional[str]:
+        return self.header.get("status")
+
+    @property
+    def ok(self) -> bool:
+        return self.header.get("status") == STATUS_OK
+
+    @staticmethod
+    def request(op: str, **fields: Any) -> "Message":
+        return Message(header={"op": op, **fields})
+
+    @staticmethod
+    def ok_response(payload: bytes = b"", **fields: Any) -> "Message":
+        return Message(header={"status": STATUS_OK, **fields}, payload=payload)
+
+    @staticmethod
+    def error_response(reason: str, **fields: Any) -> "Message":
+        return Message(header={"status": STATUS_ERROR, "reason": reason, **fields})
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: Message) -> None:
+    header = dict(message.header)
+    header["payload_len"] = len(message.payload)
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_LEN.pack(len(raw)) + raw + message.payload)
+
+
+def recv_message(sock: socket.socket) -> Message:
+    (hlen,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if hlen > _MAX_HEADER:
+        raise ProtocolError(f"header length {hlen} exceeds bound")
+    try:
+        header = json.loads(_recv_exact(sock, hlen).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad header: {exc}") from exc
+    plen = header.get("payload_len", 0)
+    if not isinstance(plen, int) or plen < 0:
+        raise ProtocolError(f"bad payload_len {plen!r}")
+    payload = _recv_exact(sock, plen) if plen else b""
+    return Message(header=header, payload=payload)

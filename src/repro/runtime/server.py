@@ -1,0 +1,210 @@
+"""Threaded FT-Cache server: one per (simulated) node, real sockets.
+
+Serves the same protocol as the paper's HVAC server daemon: a READ either
+hits the node-local cache directory or falls through to the shared PFS
+directory, serves the bytes, and hands them to a background *data mover*
+thread for recaching — the Sec IV-B retrieve → serve → cache sequence,
+now with actual files and actual threads.
+
+Failure injection mirrors a drained node: :meth:`FTCacheServer.kill` with
+``mode="hang"`` keeps the port open but never answers (clients see socket
+timeouts, exactly the paper's detection path); ``mode="drop"`` closes the
+listener outright (connection refused).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .protocol import OP_PING, OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
+from .storage import NVMeDir, PFSDir
+
+__all__ = ["FTCacheServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    hits: int = 0
+    misses: int = 0
+    pfs_reads: int = 0
+    recached: int = 0
+    errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, d in deltas.items():
+                setattr(self, name, getattr(self, name) + d)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    server: "_TCPServer"
+
+    def handle(self) -> None:  # noqa: D102 - socketserver hook
+        owner: "FTCacheServer" = self.server.owner
+        try:
+            while True:
+                msg = recv_message(self.request)
+                if owner.dropped.is_set():
+                    # Hard failure: sever the connection mid-conversation.
+                    self.request.close()
+                    return
+                if owner.hung.is_set():
+                    # Drained node: swallow the request forever; the client's
+                    # TTL is the only way it learns anything (Sec IV-A).
+                    owner.hang_barrier.wait()
+                    return
+                response = owner.dispatch(msg)
+                send_message(self.request, response)
+        except (ConnectionError, OSError):
+            return  # client went away / server shutting down
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    owner: "FTCacheServer"
+
+
+class FTCacheServer:
+    """One node's cache daemon over a real TCP socket."""
+
+    def __init__(
+        self,
+        node_id: int,
+        nvme: NVMeDir,
+        pfs: PFSDir,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.node_id = node_id
+        self.nvme = nvme
+        self.pfs = pfs
+        self.stats = ServerStats()
+        self.hung = threading.Event()
+        self.dropped = threading.Event()
+        #: released only at shutdown so hung handlers can exit
+        self.hang_barrier = threading.Event()
+        self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
+        self._tcp.owner = self
+        self._thread: Optional[threading.Thread] = None
+        self._movers: list[threading.Thread] = []
+        self._alive = False
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._tcp.server_address  # type: ignore[return-value]
+
+    @property
+    def alive(self) -> bool:
+        return self._alive and not self.hung.is_set() and not self.dropped.is_set()
+
+    def start(self) -> "FTCacheServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name=f"ftcache-server-{self.node_id}", daemon=True
+        )
+        self._thread.start()
+        self._alive = True
+        return self
+
+    def kill(self, mode: str = "hang") -> None:
+        """Simulate node failure.
+
+        ``hang``: stop answering (clients block until their TTL).
+        ``drop``: close the listening socket (connections refused).
+        """
+        if mode not in ("hang", "drop"):
+            raise ValueError(f"mode must be 'hang' or 'drop', got {mode!r}")
+        self._alive = False
+        if mode == "hang":
+            self.hung.set()
+        else:
+            self.dropped.set()  # live connections reset on next request
+            self._tcp.shutdown()
+            self._tcp.server_close()
+
+    def close(self) -> None:
+        """Clean shutdown (not a failure simulation)."""
+        self._alive = False
+        self.hang_barrier.set()
+        try:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        for t in self._movers:
+            t.join(timeout=2.0)
+
+    # -- request handling -----------------------------------------------------------
+    def dispatch(self, msg: Message) -> Message:
+        if msg.op == OP_PING:
+            return Message.ok_response(node_id=self.node_id)
+        if msg.op == OP_STAT:
+            return Message.ok_response(
+                node_id=self.node_id,
+                cached_entries=self.nvme.entry_count(),
+                cached_bytes=self.nvme.used_bytes,
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+            )
+        if msg.op == OP_READ:
+            return self._read(msg.header.get("path", ""))
+        if msg.op == OP_PUT:
+            return self._put(msg.header.get("path", ""), msg.payload)
+        self.stats.bump(errors=1)
+        return Message.error_response(f"unknown op {msg.op!r}")
+
+    def _read(self, path: str) -> Message:
+        if not path:
+            self.stats.bump(errors=1)
+            return Message.error_response("missing path")
+        if self.nvme.contains(path):
+            try:
+                data = self.nvme.read(path)
+                self.stats.bump(hits=1)
+                return Message.ok_response(payload=data, source="cache")
+            except OSError:
+                # Entry raced away (eviction); fall through to the PFS.
+                pass
+        try:
+            data = self.pfs.read(path)
+        except FileNotFoundError:
+            self.stats.bump(errors=1)
+            return Message.error_response(f"no such file: {path}", code="ENOENT")
+        self.stats.bump(misses=1, pfs_reads=1)
+        self._recache_async(path, data)
+        return Message.ok_response(payload=data, source="pfs")
+
+    def _put(self, path: str, data: bytes) -> Message:
+        """Replica push (replication extension): install an entry directly."""
+        if not path:
+            self.stats.bump(errors=1)
+            return Message.error_response("missing path")
+        try:
+            self.nvme.write(path, data)
+        except OSError as exc:
+            self.stats.bump(errors=1)
+            return Message.error_response(f"cache full: {exc}", code="ENOSPC")
+        self.stats.bump(recached=1)
+        return Message.ok_response(stored=len(data))
+
+    def _recache_async(self, path: str, data: bytes) -> None:
+        """Data-mover thread: write-through to the cache directory."""
+
+        def _move() -> None:
+            try:
+                self.nvme.write(path, data)
+                self.stats.bump(recached=1)
+            except OSError:
+                pass  # cache full: serveable but not cacheable
+
+        t = threading.Thread(target=_move, name=f"data-mover-{self.node_id}", daemon=True)
+        t.start()
+        self._movers = [m for m in self._movers if m.is_alive()] + [t]

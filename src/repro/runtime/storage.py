@@ -1,0 +1,128 @@
+"""Storage backends for the threaded runtime.
+
+* :class:`NVMeDir` — a local directory standing in for a node's NVMe
+  volume (cache entries are plain files keyed by a sanitised path).
+* :class:`PFSDir` — a shared directory standing in for the parallel file
+  system, with an optional artificial per-read delay so cache hits are
+  measurably cheaper on a laptop (the real gap between Lustre and local
+  flash doesn't exist between two directories on the same disk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["NVMeDir", "PFSDir"]
+
+
+def _entry_name(key: str) -> str:
+    """Filesystem-safe cache-entry name for an arbitrary path key."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=16).hexdigest()
+    tail = os.path.basename(key)[-40:] or "entry"
+    safe_tail = "".join(c if c.isalnum() or c in "._-" else "_" for c in tail)
+    return f"{digest}_{safe_tail}"
+
+
+class NVMeDir:
+    """Node-local cache directory with byte accounting and atomic writes."""
+
+    def __init__(self, root: str | Path, capacity_bytes: Optional[int] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
+        self._used = sum(f.stat().st_size for f in self.root.iterdir() if f.is_file())
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def _path(self, key: str) -> Path:
+        return self.root / _entry_name(key)
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def read(self, key: str) -> bytes:
+        return self._path(key).read_bytes()
+
+    def write(self, key: str, data: bytes) -> None:
+        """Atomically install a cache entry (rename from a temp file).
+
+        A concurrent writer of the same key is harmless: both write the
+        same bytes and the rename is atomic on POSIX.
+        """
+        with self._lock:
+            if self.capacity_bytes is not None and self._used + len(data) > self.capacity_bytes:
+                raise OSError(f"cache dir over capacity ({self._used + len(data)} bytes)")
+            self._used += len(data)
+        target = self._path(key)
+        tmp = target.with_suffix(".tmp-%d" % threading.get_ident())
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+
+    def drop(self, key: str) -> None:
+        path = self._path(key)
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except FileNotFoundError:
+            return
+        with self._lock:
+            self._used = max(0, self._used - size)
+
+    def clear(self) -> None:
+        with self._lock:
+            for f in self.root.iterdir():
+                if f.is_file():
+                    f.unlink()
+            self._used = 0
+
+    def entry_count(self) -> int:
+        return sum(1 for f in self.root.iterdir() if f.is_file())
+
+
+class PFSDir:
+    """Shared 'parallel file system' directory with optional read delay."""
+
+    def __init__(self, root: str | Path, read_delay: float = 0.0):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if read_delay < 0:
+            raise ValueError("read_delay must be >= 0")
+        self.read_delay = read_delay
+        self._reads = 0
+        self._lock = threading.Lock()
+
+    @property
+    def reads(self) -> int:
+        return self._reads
+
+    def resolve(self, key: str) -> Path:
+        """Map a dataset key (absolute-ish path) into this PFS root."""
+        rel = key.lstrip("/")
+        path = (self.root / rel).resolve()
+        if not str(path).startswith(str(self.root.resolve())):
+            raise PermissionError(f"path escape: {key!r}")
+        return path
+
+    def exists(self, key: str) -> bool:
+        return self.resolve(key).exists()
+
+    def read(self, key: str) -> bytes:
+        if self.read_delay:
+            time.sleep(self.read_delay)
+        data = self.resolve(key).read_bytes()
+        with self._lock:
+            self._reads += 1
+        return data
+
+    def write(self, key: str, data: bytes) -> None:
+        path = self.resolve(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)

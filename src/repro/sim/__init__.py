@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel (engine, resources, seeded RNG streams)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .resources import Preempted, Request, Resource, SharedBandwidth, Store
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+    "Preempted",
+    "Request",
+    "Resource",
+    "SharedBandwidth",
+    "Store",
+    "RngRegistry",
+    "derive_seed",
+]

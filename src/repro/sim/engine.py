@@ -1,0 +1,454 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch, dependency-free engine in the style of SimPy: simulation
+*processes* are Python generators that ``yield`` :class:`Event` objects and
+are resumed when those events fire.  The kernel is the substrate for every
+timed experiment in this repository — the cluster, network, PFS, HVAC
+client/server, and DL training loop are all processes scheduled here.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  The kernel never interprets units;
+  the cluster models document theirs.
+* The event queue is a binary heap keyed on ``(time, priority, seq)``.
+  ``seq`` is a monotone tiebreaker so same-time events fire in schedule
+  order (deterministic replay is a hard requirement for the experiments).
+* Failure of a process with no active waiters raises at ``run()`` time
+  rather than being silently dropped; unhandled simulation errors must be
+  loud.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Default priority for ordinary events.
+NORMAL = 1
+#: Priority for urgent events (fire before normal events at the same time).
+URGENT = 0
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (yielding a foreign event, running backwards)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to terminate :meth:`Environment.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` carries
+    the interrupter's context (e.g. the failure event that triggered it).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled with a value or an exception), and *processed* (callbacks
+    ran).  Waiting processes register themselves as callbacks.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event carries a value rather than an exception."""
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event with ``value``; waiters resume with it."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception; waiters have it thrown in."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel won't re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator.  Also an event: it fires when the generator ends.
+
+    The value of the event is the generator's return value; if the
+    generator raises, waiters have the exception thrown into them.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        twice before it resumes queues both interrupts.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        env = self.env
+        exc = Interrupt(cause)
+
+        def _do_interrupt(_evt: Event) -> None:
+            if self._triggered:
+                return  # finished in the meantime
+            # Detach from whatever it was waiting on.
+            target = self._target
+            if target is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+            self._target = None
+            self._step(exc, as_exception=True)
+
+        hook = Event(env)
+        hook.callbacks.append(_do_interrupt)
+        hook.succeed(priority=URGENT)
+
+    # -- kernel internals --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(event._value, as_exception=False)
+        else:
+            event._defused = True
+            self._step(event._value, as_exception=True)
+
+    def _step(self, value: Any, *, as_exception: bool) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if as_exception:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            env._schedule(self, NORMAL)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            env._schedule(self, NORMAL)
+            return
+        env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        if target.env is not env:
+            raise SimulationError(f"process {self.name!r} yielded an event from another Environment")
+        if target._processed:
+            # Already-fired event: resume immediately (next kernel step).
+            hook = Event(env)
+            hook.callbacks.append(self._resume)
+            hook._value = target._value
+            hook._ok = target._ok
+            if not target._ok:
+                target._defused = True
+            hook._triggered = True
+            env._schedule(hook, URGENT)
+            self._target = hook
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: list[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for e in self.events:
+            if e.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        # An event is "already happened" only once *processed*; a triggered-
+        # but-unprocessed event (e.g. a freshly created Timeout) still fires
+        # its callbacks when the kernel reaches it, so we register on it
+        # like any pending event.
+        self._remaining = 0
+        fired = [e for e in self.events if e._processed]
+        pending = [e for e in self.events if not e._processed]
+        self._remaining = len(pending)
+        for e in pending:
+            e.callbacks.append(self._check)
+        # Evaluate immediately for already-processed members.
+        if fired or not pending:
+            hook = Event(env)
+            hook.callbacks.append(lambda _e: self._initial(fired))
+            hook.succeed(priority=URGENT)
+
+    def _initial(self, fired: list[Event]) -> None:
+        if not fired and not self.events and not self._triggered:
+            # Empty condition: trivially satisfied.
+            self.succeed({})
+            return
+        for e in fired:
+            if not self._triggered:
+                self._check(e)
+
+    def _results(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e._processed and e._ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when *any* member event fires; value maps fired events→values."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            if not event._ok:
+                event._defused = True  # late failure after the race was won
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Fires when *all* member events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            if not event._ok:
+                event._defused = True  # late failure after the condition resolved
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        done = sum(1 for e in self.events if e._processed)
+        if done == len(self.events):
+            self.succeed(self._results())
+
+
+class Environment:
+    """The simulation clock and event queue.
+
+    Typical use::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.5)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event (advance the clock to it)."""
+        if not self._queue:
+            raise StopSimulation("event queue empty")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("time ran backwards")  # pragma: no cover - invariant
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []  # type: ignore[assignment]
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, time ``until`` passes, or event fires.
+
+        Returns the value of ``until`` when it is an event.
+        """
+        stop_at: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event._processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            stop_event.callbacks.append(lambda e: (_ for _ in ()).throw(StopSimulation(e)))
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(f"run(until={stop_at}) is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if stop_at is not None and self.peek() > stop_at:
+                    self._now = stop_at
+                    break
+                self.step()
+        except StopSimulation:
+            pass
+
+        if stop_event is not None:
+            if not stop_event._triggered:
+                raise SimulationError("run() finished but the target event never fired")
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_at is not None and self._now < stop_at and not self._queue:
+            self._now = stop_at
+        return None

@@ -1,0 +1,15 @@
+"""Terminal visualisation of experiment results."""
+
+from .ascii import bar_chart, histogram, line_plot
+from .text import heading, minutes, pct, render_series, render_table
+
+__all__ = [
+    "bar_chart",
+    "histogram",
+    "line_plot",
+    "heading",
+    "minutes",
+    "pct",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,144 @@
+"""Terminal charts for experiment output (no plotting dependencies).
+
+The experiment CLI renders its series as Unicode block charts so the
+paper's figures are *visible*, not just tabulated, in any terminal:
+
+* :func:`bar_chart` — horizontal bars with value labels (Fig 5's grouped
+  runtimes, Fig 6b's receiver counts);
+* :func:`line_plot` — multi-series braille-free scatter on a character
+  grid (Fig 1's weekly series);
+* :func:`histogram` — distribution of a sample (detector latencies).
+
+Everything returns a plain ``str``; nothing writes to stdout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["bar_chart", "line_plot", "histogram"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_MARKERS = "●○▲△■□◆◇"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2e}"
+    return f"{v:.4g}"
+
+
+def bar_chart(
+    labels: Sequence,
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with fractional-block resolution."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart takes non-negative values")
+    vmax = max(values) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        filled = v / vmax * width
+        whole = int(filled)
+        frac = int((filled - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[frac] if frac else "")
+        lines.append(f"{str(label).rjust(label_w)} │{bar.ljust(width)}│ {_fmt(v)}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series character-grid plot with a shared axis.
+
+    ``series`` maps a name to ``(xs, ys)``; each series gets its own
+    marker, listed in the legend.  NaNs are skipped.
+    """
+    if not series:
+        return title
+    pts_all = []
+    for xs, ys in series.values():
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        pts_all.extend((x, y) for x, y in zip(xs, ys) if not (math.isnan(y) or math.isnan(x)))
+    if not pts_all:
+        return title
+    x_lo = min(p[0] for p in pts_all)
+    x_hi = max(p[0] for p in pts_all)
+    y_lo = min(p[1] for p in pts_all)
+    y_hi = max(p[1] for p in pts_all)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            if math.isnan(x) or math.isnan(y):
+                continue
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    y_hi_s, y_lo_s = _fmt(y_hi), _fmt(y_lo)
+    gutter = max(len(y_hi_s), len(y_lo_s))
+    lines = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = y_hi_s.rjust(gutter)
+        elif r == height - 1:
+            prefix = y_lo_s.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} ┤{''.join(row)}")
+    lines.append(" " * gutter + " └" + "─" * width)
+    lines.append(" " * (gutter + 2) + _fmt(x_lo) + _fmt(x_hi).rjust(width - len(_fmt(x_lo))))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Binned distribution as a bar chart with range labels."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    vals = [v for v in values if not math.isnan(v)]
+    if not vals:
+        return title
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for v in vals:
+        idx = min(bins - 1, max(0, int((v - lo) / span * bins)))
+        counts[idx] += 1
+    labels = [
+        f"[{_fmt(lo + span * i / bins)}, {_fmt(lo + span * (i + 1) / bins)})" for i in range(bins)
+    ]
+    return bar_chart(labels, counts, width=width, title=title)

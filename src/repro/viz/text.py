@@ -1,0 +1,49 @@
+"""Generic text-rendering helpers (tables, headings, series).
+
+Dependency-light on purpose: used by the experiment reports, the run
+report, and anything else that prints aligned text without pulling in the
+experiment package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "heading", "pct", "minutes"]
+
+
+
+def heading(title: str, char: str = "=") -> str:
+    return f"{title}\n{char * len(title)}"
+
+
+def pct(x: float, digits: int = 1) -> str:
+    return f"{x:.{digits}f}%"
+
+
+def minutes(seconds: float, digits: int = 1) -> str:
+    return f"{seconds / 60:.{digits}f} min"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], indent: str = "") -> str:
+    """Fixed-width text table (no external deps, stable for goldens)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    sep = "  "
+    lines.append(indent + sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(indent + sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(indent + sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[Any], ys: Sequence[Any], indent: str = "  ") -> str:
+    """One labelled x→y series, one point per line."""
+    lines = [f"{name}:"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{indent}{x}: {y}")
+    return "\n".join(lines)

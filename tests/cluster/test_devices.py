@@ -1,0 +1,286 @@
+"""Tests for NVMe, network, and PFS device models."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.cluster import (
+    Cluster,
+    GiB,
+    MiB,
+    Network,
+    NetworkConfig,
+    NVMeConfig,
+    NVMeDevice,
+    NVMeFullError,
+    ParallelFileSystem,
+    PFSConfig,
+    frontier,
+)
+from repro.sim import AllOf, Environment
+from tests.conftest import run_proc
+
+
+@pytest.fixture
+def nvme(env):
+    return NVMeDevice(env, NVMeConfig(capacity=1000.0, read_bw=100.0, write_bw=50.0, per_op_latency=0.01))
+
+
+class TestNVMe:
+    def test_read_time_exact(self, env, nvme):
+        def proc():
+            yield from nvme.read(200.0)
+            return env.now
+
+        assert run_proc(env, proc()) == pytest.approx(0.01 + 2.0)
+
+    def test_write_reserves_capacity(self, env, nvme):
+        def proc():
+            yield from nvme.write(300.0)
+            return nvme.used_bytes
+
+        assert run_proc(env, proc()) == 300.0
+        assert nvme.free_bytes == 700.0
+
+    def test_capacity_enforced(self, nvme):
+        nvme.reserve(900.0)
+        with pytest.raises(NVMeFullError):
+            nvme.reserve(200.0)
+
+    def test_release(self, nvme):
+        nvme.reserve(500.0)
+        nvme.release(200.0)
+        assert nvme.used_bytes == 300.0
+        nvme.release(1e9)  # over-release clamps to zero
+        assert nvme.used_bytes == 0.0
+
+    def test_concurrent_reads_share_bandwidth(self, env, nvme):
+        def one():
+            yield from nvme.read(100.0)
+
+        def proc():
+            a = env.process(one())
+            b = env.process(one())
+            yield AllOf(env, [a, b])
+            return env.now
+
+        # 200 bytes at 100 B/s aggregate → 2 s + op latency.
+        assert run_proc(env, proc()) == pytest.approx(0.01 + 2.0)
+
+    def test_byte_counters(self, env, nvme):
+        def proc():
+            yield from nvme.read(100.0)
+            yield from nvme.write(40.0)
+
+        run_proc(env, proc())
+        assert nvme.bytes_read == pytest.approx(100.0)
+        assert nvme.bytes_written == pytest.approx(40.0)
+
+    def test_frontier_defaults_match_table2(self):
+        cfg = NVMeConfig()
+        assert cfg.read_bw == 8 * GiB
+        assert cfg.write_bw == 4 * GiB
+        assert cfg.capacity == pytest.approx(3.5 * 1024**4)
+
+
+class TestNetwork:
+    @pytest.fixture
+    def net(self, env):
+        return Network(env, NetworkConfig(link_bw=100.0, base_latency=0.5, rpc_overhead=0.0), n_nodes=4)
+
+    def test_send_time(self, env, net):
+        def proc():
+            yield from net.send(0, 1, 200.0)
+            return env.now
+
+        assert run_proc(env, proc()) == pytest.approx(0.5 + 2.0)
+
+    def test_loopback_is_latency_only(self, env, net):
+        def proc():
+            yield from net.send(2, 2, 1e9)
+            return env.now
+
+        assert run_proc(env, proc()) == pytest.approx(0.5)
+
+    def test_incast_shares_receiver_link(self, env, net):
+        done = {}
+
+        def sender(src):
+            yield from net.send(src, 3, 100.0)
+            done[src] = env.now
+
+        for src in (0, 1, 2):
+            env.process(sender(src))
+        env.run()
+        # 300 bytes into one 100 B/s ingress → all finish at 0.5 + 3.0.
+        assert all(t == pytest.approx(3.5) for t in done.values())
+
+    def test_invalid_node_id(self, net):
+        with pytest.raises(ValueError):
+            list(net.send(0, 9, 10.0))
+        with pytest.raises(ValueError):
+            list(net.send(-1, 0, 10.0))
+
+    def test_counters(self, env, net):
+        def proc():
+            yield from net.send(0, 1, 64.0)
+
+        run_proc(env, proc())
+        assert net.messages_sent == 1 and net.bytes_sent == 64.0
+
+
+class TestPFS:
+    def _pfs(self, env, **over):
+        cfg = PFSConfig(
+            aggregate_bw=1000.0,
+            per_stream_bw=100.0,
+            metadata_concurrency=2,
+            metadata_service_time=0.1,
+            access_latency=0.0,
+            random_read_latency=0.0,
+            service_noise_sigma=0.0,
+        )
+        cfg = replace(cfg, **over)
+        return ParallelFileSystem(env, cfg)
+
+    def test_read_time_single(self, env):
+        pfs = self._pfs(env)
+
+        def proc():
+            yield from pfs.read(200.0, n_files=1)
+            return env.now
+
+        # metadata 0.1 + 200/100 per-stream = 2.1
+        assert run_proc(env, proc()) == pytest.approx(2.1)
+
+    def test_metadata_contention_queues(self, env):
+        pfs = self._pfs(env)
+        done = {}
+
+        def reader(tag):
+            yield from pfs.read(0.0, n_files=1)
+            done[tag] = env.now
+
+        for i in range(4):
+            env.process(reader(i))
+        env.run()
+        # 4 metadata ops, 2 concurrent at 0.1s: waves at 0.1 and 0.2.
+        assert sorted(done.values()) == pytest.approx([0.1, 0.1, 0.2, 0.2])
+
+    def test_aggregate_bandwidth_cap(self, env):
+        pfs = self._pfs(env, metadata_concurrency=64)
+        done = {}
+
+        def reader(tag):
+            yield from pfs.read(100.0, n_files=1)
+            done[tag] = env.now
+
+        for i in range(20):
+            env.process(reader(i))
+        env.run()
+        # 20 streams want 100 B/s each = 2000 > 1000 aggregate → 2000 bytes
+        # at 1000 B/s = 2.0 s (+0.1 metadata wave).
+        assert max(done.values()) == pytest.approx(2.1, abs=0.05)
+
+    def test_amplification_scales_latency(self, env):
+        pfs = self._pfs(env, random_read_latency=0.05)
+        t = {}
+
+        def reader(amp, tag):
+            yield from pfs.read(0.0, n_files=2, amplification=amp)
+            t[tag] = env.now
+
+        env.process(reader(1.0, "plain"))
+        env.run()
+        env2 = Environment()
+        pfs2 = self._pfs(env2, random_read_latency=0.05)
+
+        def reader2():
+            yield from pfs2.read(0.0, n_files=2, amplification=6.0)
+            return env2.now
+
+        t_amp = run_proc(env2, reader2())
+        assert t_amp - t["plain"] == pytest.approx(2 * 0.05 * 5.0)
+
+    def test_validation(self, env):
+        pfs = self._pfs(env)
+        with pytest.raises(ValueError):
+            list(pfs.read(-1.0))
+        with pytest.raises(ValueError):
+            list(pfs.read(1.0, n_files=0))
+        with pytest.raises(ValueError):
+            list(pfs.read(1.0, amplification=0.5))
+
+    def test_stats(self, env):
+        pfs = self._pfs(env)
+
+        def proc():
+            yield from pfs.read(50.0, n_files=2)
+
+        run_proc(env, proc())
+        assert pfs.stats.reads == 1
+        assert pfs.stats.bytes_read == 50.0
+        assert pfs.stats.metadata_ops == 2
+        assert pfs.stats.mean_read_time > 0
+
+    def test_noise_reproducible_with_seeded_cluster(self):
+        def total(seed):
+            cluster = Cluster.frontier(n_nodes=2, seed=seed)
+
+            def proc():
+                yield from cluster.pfs.read(1 * MiB, n_files=4)
+                return cluster.env.now
+
+            p = cluster.env.process(proc())
+            cluster.env.run(until=p)
+            return p.value
+
+        assert total(9) == total(9)
+        assert total(9) != total(10)
+
+
+class TestClusterAssembly:
+    def test_frontier_builder(self):
+        cluster = Cluster.frontier(n_nodes=4, seed=1)
+        assert cluster.n_nodes == 4
+        assert cluster.alive_nodes == [0, 1, 2, 3]
+
+    def test_fail_node(self):
+        cluster = Cluster.frontier(n_nodes=4)
+        cluster.fail_node(2)
+        assert cluster.failed_nodes == [2]
+        assert not cluster.node(2).alive
+        cluster.fail_node(2)  # idempotent
+        assert cluster.failed_nodes == [2]
+
+    def test_failed_event_fires(self):
+        cluster = Cluster.frontier(n_nodes=2)
+        env = cluster.env
+
+        def watcher():
+            node_id = yield cluster.node(1).failed_event
+            return (node_id, env.now)
+
+        def killer():
+            yield env.timeout(3.0)
+            cluster.fail_node(1)
+
+        w = env.process(watcher())
+        env.process(killer())
+        env.run()
+        assert w.value == (1, 3.0)
+
+    def test_failed_event_after_the_fact(self):
+        cluster = Cluster.frontier(n_nodes=2)
+        cluster.fail_node(0)
+        evt = cluster.node(0).failed_event
+        assert evt.triggered
+
+    def test_with_nodes_scaling(self):
+        cfg = frontier(64).with_nodes(128)
+        assert cfg.n_nodes == 128
+        assert cfg.nvme == frontier(64).nvme
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            frontier(0)

@@ -1,0 +1,109 @@
+"""Tests for the PFS interference substrate and its ablation."""
+
+import pytest
+
+from repro.cluster import BackgroundLoad, Cluster, PFSConfig, with_interference
+from repro.experiments import ExperimentScale, format_interference_ablation, run_interference_ablation
+
+
+class TestWithInterference:
+    def test_level_zero_is_identity(self):
+        cfg = PFSConfig()
+        assert with_interference(cfg, 0.0) is cfg
+
+    def test_degradation_directions(self):
+        base = PFSConfig()
+        loaded = with_interference(base, 1.0)
+        assert loaded.aggregate_bw < base.aggregate_bw
+        assert loaded.per_stream_bw < base.per_stream_bw
+        assert loaded.random_read_latency > base.random_read_latency
+        assert loaded.service_noise_sigma > base.service_noise_sigma
+
+    def test_monotone_in_level(self):
+        base = PFSConfig()
+        a = with_interference(base, 0.5)
+        b = with_interference(base, 2.0)
+        assert b.aggregate_bw < a.aggregate_bw
+        assert b.random_read_latency > a.random_read_latency
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            with_interference(PFSConfig(), -0.1)
+
+
+class TestBackgroundLoad:
+    def test_validation(self):
+        cluster = Cluster.frontier(n_nodes=2, seed=1)
+        with pytest.raises(ValueError):
+            BackgroundLoad(cluster.env, cluster.pfs, offered_ratio=-1)
+        with pytest.raises(ValueError):
+            BackgroundLoad(cluster.env, cluster.pfs, mean_burst_bytes=0)
+
+    def test_zero_load_starts_nothing(self):
+        cluster = Cluster.frontier(n_nodes=2, seed=1)
+        bg = BackgroundLoad(cluster.env, cluster.pfs, offered_ratio=0.0)
+        assert bg.start() is None
+
+    def test_offered_load_approximately_met(self):
+        cluster = Cluster.frontier(n_nodes=2, seed=1)
+        bg = BackgroundLoad(
+            cluster.env, cluster.pfs, offered_ratio=0.5, mean_burst_bytes=16e6
+        )
+        bg.start()
+        cluster.env.run(until=30.0)
+        offered_rate = bg.bytes_offered / 30.0
+        target = 0.5 * cluster.pfs.config.aggregate_bw
+        assert offered_rate == pytest.approx(target, rel=0.4)
+        assert bg.bursts > 10
+
+    def test_contention_slows_foreground_reads(self):
+        def read_time(ratio):
+            cluster = Cluster.frontier(n_nodes=2, seed=1)
+            bg = BackgroundLoad(
+                cluster.env, cluster.pfs, offered_ratio=ratio, max_concurrent_bursts=32
+            )
+            bg.start()
+            env = cluster.env
+
+            def fg():
+                yield env.timeout(2.0)  # let background traffic build up
+                t0 = env.now
+                yield from cluster.pfs.read(256e6, n_files=4)
+                return env.now - t0
+
+            p = env.process(fg())
+            env.run(until=p)
+            return p.value
+
+        assert read_time(0.8) > read_time(0.0)
+
+    def test_double_start_rejected(self):
+        cluster = Cluster.frontier(n_nodes=2, seed=1)
+        bg = BackgroundLoad(cluster.env, cluster.pfs, offered_ratio=0.5)
+        bg.start()
+        with pytest.raises(RuntimeError):
+            bg.start()
+
+
+class TestInterferenceAblation:
+    def test_gap_widens_with_load(self):
+        r = run_interference_ablation(scale=ExperimentScale.smoke(), levels=(0.0, 2.0))
+        by_node: dict = {}
+        for row in r.rows:
+            by_node.setdefault(row.n_nodes, {})[row.level] = row
+        for rows in by_node.values():
+            assert rows[2.0].gap_pct > rows[0.0].gap_pct
+
+    def test_baseline_slows_with_load(self):
+        r = run_interference_ablation(scale=ExperimentScale.smoke(), levels=(0.0, 1.0))
+        by_node: dict = {}
+        for row in r.rows:
+            by_node.setdefault(row.n_nodes, {})[row.level] = row
+        for rows in by_node.values():
+            assert rows[1.0].nofail > rows[0.0].nofail
+
+    def test_format(self):
+        text = format_interference_ablation(
+            run_interference_ablation(scale=ExperimentScale.smoke(), levels=(0.0, 1.0))
+        )
+        assert "Interference" in text and "Bg load" in text

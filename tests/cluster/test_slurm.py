@@ -1,0 +1,118 @@
+"""Tests for SLURM-like drain and job time limits."""
+
+import pytest
+
+from repro.cluster import Cluster, JobTimeLimitExceeded, SlurmController
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.frontier(n_nodes=8, seed=3)
+
+
+@pytest.fixture
+def slurm(cluster):
+    return SlurmController(cluster)
+
+
+class TestDrain:
+    def test_drain_kills_node(self, cluster, slurm):
+        slurm.drain(3)
+        assert not cluster.node(3).alive
+        assert slurm.drained == [(0.0, 3)]
+
+    def test_drain_at_scheduled_time(self, cluster, slurm):
+        slurm.drain_at(5, when=7.5)
+        cluster.env.run()
+        assert cluster.node(5).failed_at == 7.5
+
+    def test_drain_at_past_time_fires_immediately(self, cluster, slurm):
+        cluster.env.run(until=4.0)
+        slurm.drain_at(1, when=2.0)
+        cluster.env.run()
+        assert cluster.node(1).failed_at == pytest.approx(4.0)
+
+
+class TestTimeLimit:
+    def test_job_within_limit_returns_value(self, cluster, slurm):
+        env = cluster.env
+
+        def job():
+            yield env.timeout(5)
+            return "finished"
+
+        sup = slurm.enforce_limit(env.process(job()), limit=10.0)
+        env.run()
+        assert sup.value == "finished"
+
+    def test_job_over_limit_killed(self, cluster, slurm):
+        env = cluster.env
+
+        def job():
+            yield env.timeout(100)
+            return "never"
+
+        sup = slurm.enforce_limit(env.process(job()), limit=10.0)
+
+        def waiter():
+            try:
+                yield sup
+            except JobTimeLimitExceeded as exc:
+                return ("killed", exc.limit, env.now)
+
+        w = env.process(waiter())
+        env.run()
+        assert w.value == ("killed", 10.0, 10.0)
+
+    def test_grace_period(self, cluster, slurm):
+        env = cluster.env
+
+        def job():
+            yield env.timeout(11)
+            return "made it"
+
+        sup = slurm.enforce_limit(env.process(job()), limit=10.0, grace=2.0)
+        env.run()
+        assert sup.value == "made it"
+
+    def test_invalid_limit(self, cluster, slurm):
+        env = cluster.env
+
+        def job():
+            yield env.timeout(1)
+
+        with pytest.raises(ValueError):
+            slurm.enforce_limit(env.process(job()), limit=0)
+
+
+class TestRandomDrainTimes:
+    def test_count_and_window(self, slurm):
+        plan = slurm.random_drain_times(3, window_start=10.0, window_end=50.0)
+        assert len(plan) == 3
+        times = [t for t, _ in plan]
+        assert times == sorted(times)
+        assert all(10.0 <= t <= 50.0 for t in times)
+
+    def test_victims_distinct_and_alive(self, cluster, slurm):
+        cluster.fail_node(0)
+        plan = slurm.random_drain_times(5, 0.0, 10.0)
+        victims = [v for _, v in plan]
+        assert len(set(victims)) == 5
+        assert 0 not in victims
+
+    def test_exclusion(self, slurm):
+        plan = slurm.random_drain_times(3, 0.0, 1.0, exclude={1, 2, 3, 4})
+        assert all(v not in {1, 2, 3, 4} for _, v in plan)
+
+    def test_too_many_failures_rejected(self, slurm):
+        with pytest.raises(ValueError):
+            slurm.random_drain_times(9, 0.0, 1.0)
+
+    def test_bad_window_rejected(self, slurm):
+        with pytest.raises(ValueError):
+            slurm.random_drain_times(1, 5.0, 5.0)
+
+    def test_reproducible_per_seed(self):
+        a = SlurmController(Cluster.frontier(8, seed=11)).random_drain_times(3, 0, 10)
+        b = SlurmController(Cluster.frontier(8, seed=11)).random_drain_times(3, 0, 10)
+        assert a == b

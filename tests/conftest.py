@@ -1,0 +1,25 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+def run_proc(env: Environment, generator):
+    """Run a single process to completion and return its value."""
+    proc = env.process(generator)
+    env.run(until=proc)
+    return proc.value
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

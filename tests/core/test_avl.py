@@ -1,0 +1,174 @@
+"""Tests for the AVL ordered map and the std::map-style tree ring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AVLMap, HashRing, TreeHashRing, bulk_hash64
+
+
+class TestAVLMapBasics:
+    def test_insert_get(self):
+        m = AVLMap()
+        m.insert(5, "five")
+        m.insert(3, "three")
+        assert m.get(5) == "five" and m.get(3) == "three"
+        assert m.get(99) is None
+        assert m.get(99, "dflt") == "dflt"
+
+    def test_overwrite(self):
+        m = AVLMap([(1, "a")])
+        m.insert(1, "b")
+        assert m.get(1) == "b" and len(m) == 1
+
+    def test_len_and_bool(self):
+        m = AVLMap()
+        assert not m and len(m) == 0
+        m.insert(1, None)
+        assert m and len(m) == 1
+
+    def test_contains(self):
+        m = AVLMap([(1, "x"), (2, None)])
+        assert 1 in m and 2 in m and 3 not in m
+
+    def test_delete(self):
+        m = AVLMap([(i, i) for i in range(10)])
+        m.delete(5)
+        assert 5 not in m and len(m) == 9
+        m.check_invariants()
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            AVLMap([(1, 1)]).delete(2)
+
+    def test_items_sorted(self):
+        keys = [5, 1, 9, 3, 7, 2, 8]
+        m = AVLMap([(k, str(k)) for k in keys])
+        assert [k for k, _ in m.items()] == sorted(keys)
+
+    def test_min_entry(self):
+        assert AVLMap().min_entry() is None
+        m = AVLMap([(5, "e"), (2, "b"), (9, "i")])
+        assert m.min_entry() == (2, "b")
+
+
+class TestAVLQueries:
+    def setup_method(self):
+        self.m = AVLMap([(k, f"v{k}") for k in (10, 20, 30, 40, 50)])
+
+    def test_ceiling_exact(self):
+        assert self.m.ceiling_entry(30) == (30, "v30")
+
+    def test_ceiling_between(self):
+        assert self.m.ceiling_entry(31) == (40, "v40")
+
+    def test_ceiling_past_max(self):
+        assert self.m.ceiling_entry(51) is None
+
+    def test_floor_exact(self):
+        assert self.m.floor_entry(30) == (30, "v30")
+
+    def test_floor_between(self):
+        assert self.m.floor_entry(29) == (20, "v20")
+
+    def test_floor_below_min(self):
+        assert self.m.floor_entry(9) is None
+
+
+class TestAVLBalance:
+    def test_sequential_insert_stays_logarithmic(self):
+        m = AVLMap()
+        for i in range(1000):
+            m.insert(i, i)
+        m.check_invariants()
+        assert m.height() <= 1.45 * np.log2(1001) + 2
+
+    def test_random_churn_invariants(self):
+        rng = np.random.default_rng(0)
+        m = AVLMap()
+        present = set()
+        for _ in range(3000):
+            k = int(rng.integers(0, 500))
+            if k in present and rng.random() < 0.5:
+                m.delete(k)
+                present.discard(k)
+            else:
+                m.insert(k, k)
+                present.add(k)
+        m.check_invariants()
+        assert len(m) == len(present)
+        assert [k for k, _ in m.items()] == sorted(present)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=60))
+    def test_matches_dict_reference(self, ops):
+        m = AVLMap()
+        ref: dict[int, int] = {}
+        for k in ops:
+            if k in ref and k % 3 == 0:
+                m.delete(k)
+                del ref[k]
+            else:
+                m.insert(k, k * 2)
+                ref[k] = k * 2
+        m.check_invariants()
+        assert dict(m.items()) == ref
+        if ref:
+            lo = min(ref)
+            assert m.ceiling_entry(lo) == (lo, ref[lo])
+
+
+class TestTreeHashRing:
+    def test_matches_array_ring(self):
+        keys = bulk_hash64(np.arange(3000))
+        tree = TreeHashRing(nodes=range(8), vnodes_per_node=40)
+        array = HashRing(nodes=range(8), vnodes_per_node=40)
+        for h in keys[:600]:
+            assert tree.lookup_hash(int(h)) == array.lookup_hash(int(h))
+
+    def test_matches_after_removal(self):
+        keys = bulk_hash64(np.arange(1000))
+        tree = TreeHashRing(nodes=range(8), vnodes_per_node=40)
+        array = HashRing(nodes=range(8), vnodes_per_node=40)
+        tree.remove_node(3)
+        array.remove_node(3)
+        for h in keys[:300]:
+            assert tree.lookup_hash(int(h)) == array.lookup_hash(int(h))
+
+    def test_matches_after_addition(self):
+        keys = bulk_hash64(np.arange(1000))
+        tree = TreeHashRing(nodes=range(4), vnodes_per_node=40)
+        array = HashRing(nodes=range(4), vnodes_per_node=40)
+        tree.add_node(10)
+        array.add_node(10)
+        for h in keys[:300]:
+            assert tree.lookup_hash(int(h)) == array.lookup_hash(int(h))
+
+    def test_duplicate_add_rejected(self):
+        ring = TreeHashRing(nodes=range(3))
+        with pytest.raises(ValueError):
+            ring.add_node(1)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            TreeHashRing(nodes=range(3)).remove_node(9)
+
+    def test_empty_lookup_raises(self):
+        with pytest.raises(LookupError):
+            TreeHashRing().lookup_hash(123)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        vn=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_equivalence_property(self, n, vn, seed):
+        rng = np.random.default_rng(seed)
+        hashes = rng.integers(0, 2**63, size=100, dtype=np.uint64)
+        tree = TreeHashRing(nodes=range(n), vnodes_per_node=vn)
+        array = HashRing(nodes=range(n), vnodes_per_node=vn)
+        assert [tree.lookup_hash(int(h)) for h in hashes] == [
+            array.lookup_hash(int(h)) for h in hashes
+        ]

@@ -1,0 +1,92 @@
+"""Tests for the timeout-counter failure detector (Sec IV-A)."""
+
+import pytest
+
+from repro.core import TimeoutFailureDetector
+
+
+class TestValidation:
+    def test_ttl_positive(self):
+        with pytest.raises(ValueError):
+            TimeoutFailureDetector(ttl=0)
+
+    def test_threshold_at_least_one(self):
+        with pytest.raises(ValueError):
+            TimeoutFailureDetector(threshold=0)
+
+
+class TestDeclaration:
+    def test_declares_exactly_at_threshold(self):
+        det = TimeoutFailureDetector(ttl=1.0, threshold=3)
+        assert det.record_timeout("n") is False
+        assert det.record_timeout("n") is False
+        assert det.record_timeout("n") is True
+        assert det.is_declared("n")
+
+    def test_threshold_one_declares_immediately(self):
+        det = TimeoutFailureDetector(threshold=1)
+        assert det.record_timeout("n") is True
+
+    def test_success_resets_counter(self):
+        # The paper's raison d'être for the counter: transient delays must
+        # not trigger recovery.
+        det = TimeoutFailureDetector(threshold=3)
+        det.record_timeout("n")
+        det.record_timeout("n")
+        det.record_success("n")
+        assert det.record_timeout("n") is False
+        assert det.pending_count("n") == 1
+
+    def test_declared_node_returns_false_afterwards(self):
+        det = TimeoutFailureDetector(threshold=1)
+        assert det.record_timeout("n") is True
+        assert det.record_timeout("n") is False  # already declared
+
+    def test_counters_are_per_node(self):
+        det = TimeoutFailureDetector(threshold=2)
+        det.record_timeout("a")
+        assert det.record_timeout("b") is False
+        assert det.record_timeout("a") is True
+        assert not det.is_declared("b")
+
+    def test_declared_frozenset(self):
+        det = TimeoutFailureDetector(threshold=1)
+        det.record_timeout("x")
+        det.record_timeout("y")
+        assert det.declared == frozenset({"x", "y"})
+
+    def test_reset_allows_rejoin(self):
+        det = TimeoutFailureDetector(threshold=1)
+        det.record_timeout("n")
+        det.reset("n")
+        assert not det.is_declared("n")
+        assert det.record_timeout("n") is True
+
+
+class TestStats:
+    def test_timeout_and_success_counts(self):
+        det = TimeoutFailureDetector(threshold=5)
+        for _ in range(3):
+            det.record_timeout("n")
+        det.record_success("n")
+        assert det.stats.timeouts == 3
+        assert det.stats.successes == 1
+        assert det.stats.absorbed_transients == 3
+
+    def test_detection_latency_recorded(self):
+        det = TimeoutFailureDetector(ttl=1.0, threshold=3)
+        det.record_timeout("n", now=10.0)
+        det.record_timeout("n", now=11.0)
+        det.record_timeout("n", now=12.0)
+        assert det.stats.detection_latency["n"] == pytest.approx(2.0)
+        assert det.stats.declared_failures == 1
+
+    def test_worst_case_detection_time(self):
+        det = TimeoutFailureDetector(ttl=2.0, threshold=4)
+        assert det.worst_case_detection_time == pytest.approx(8.0)
+
+    def test_first_timeout_cleared_on_success(self):
+        det = TimeoutFailureDetector(threshold=3)
+        det.record_timeout("n", now=5.0)
+        det.record_success("n")
+        assert "n" not in det.stats.first_timeout_at

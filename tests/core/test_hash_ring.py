@@ -1,0 +1,217 @@
+"""Tests for the consistent-hash ring — the paper's core mechanism."""
+
+import copy
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EmptyRingError, HashRing, bulk_hash64
+
+KEYS = bulk_hash64(np.arange(20_000))
+
+
+def make_ring(n=8, vn=50):
+    return HashRing(nodes=range(n), vnodes_per_node=vn)
+
+
+class TestConstruction:
+    def test_default_vnodes_match_paper(self):
+        assert HashRing().vnodes_per_node == 100
+
+    def test_invalid_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes_per_node=0)
+
+    def test_ring_size(self):
+        assert make_ring(8, 50).ring_size == 400
+
+    def test_duplicate_node_rejected(self):
+        ring = make_ring(4)
+        with pytest.raises(ValueError):
+            ring.add_node(2)
+
+    def test_nodes_order_stable(self):
+        assert make_ring(5).nodes == (0, 1, 2, 3, 4)
+
+
+class TestLookup:
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(EmptyRingError):
+            ring.lookup("x")
+        with pytest.raises(EmptyRingError):
+            ring.lookup_hashes(KEYS[:5])
+
+    def test_lookup_deterministic(self):
+        ring = make_ring()
+        assert [ring.lookup(f"k{i}") for i in range(50)] == [ring.lookup(f"k{i}") for i in range(50)]
+
+    def test_lookup_in_membership(self):
+        ring = make_ring()
+        assert all(ring.lookup(f"k{i}") in ring.nodes for i in range(200))
+
+    def test_bulk_matches_scalar(self):
+        ring = make_ring()
+        bulk = ring.lookup_hashes(KEYS[:500])
+        scalar = [ring.lookup_hash(int(h)) for h in KEYS[:500]]
+        assert list(bulk) == scalar
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(nodes=[7], vnodes_per_node=10)
+        assert set(ring.lookup_hashes(KEYS[:100]).tolist()) == {7}
+
+    def test_wraparound_top_of_ring(self):
+        ring = make_ring()
+        top = int(ring._positions[-1])
+        # A hash strictly above the highest vnode wraps to the lowest one.
+        assert ring.lookup_hash(top) == ring._owners[0] or ring.lookup_hash(top) in ring.nodes
+        assert ring.lookup_hash(2**64 - 1) == ring._owners[0]
+
+    def test_rebuild_after_add_changes_some_owners_only_to_new_node(self):
+        ring = make_ring(8)
+        before = ring.lookup_hashes(KEYS)
+        ring.add_node(99)
+        after = ring.lookup_hashes(KEYS)
+        moved = before != after
+        assert set(after[moved].tolist()) == {99}
+
+    def test_load_roughly_uniform_with_many_vnodes(self):
+        ring = make_ring(8, vn=200)
+        counts = ring.assignment_counts(KEYS)
+        arr = np.array([counts[n] for n in ring.nodes])
+        assert arr.min() > 0.6 * arr.mean()
+        assert arr.max() < 1.5 * arr.mean()
+
+
+class TestRemoval:
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_ring().remove_node(42)
+
+    def test_minimal_movement_invariant(self):
+        ring = make_ring(8)
+        before = ring.lookup_hashes(KEYS)
+        ring.remove_node(3)
+        after = ring.lookup_hashes(KEYS)
+        moved = before != after
+        # Only keys previously owned by node 3 may move.
+        assert set(before[moved].tolist()) == {3}
+
+    def test_remove_then_readd_restores_placement(self):
+        ring = make_ring(8)
+        before = ring.lookup_hashes(KEYS)
+        ring.remove_node(5)
+        ring.add_node(5)
+        after = ring.lookup_hashes(KEYS)
+        np.testing.assert_array_equal(before, after)
+
+    def test_cascade_removals_stay_minimal(self):
+        ring = make_ring(10)
+        for victim in (2, 7, 4):
+            before = ring.lookup_hashes(KEYS)
+            ring.remove_node(victim)
+            after = ring.lookup_hashes(KEYS)
+            moved = before != after
+            assert set(before[moved].tolist()) == {victim}
+
+    def test_lookup_hashes_excluding_equals_removal(self):
+        ring = make_ring(8)
+        virtual = ring.lookup_hashes_excluding(KEYS, 3)
+        twin = copy.deepcopy(ring)
+        twin.remove_node(3)
+        real = twin.lookup_hashes(KEYS)
+        np.testing.assert_array_equal(virtual, real)
+        # and the original ring is untouched
+        assert 3 in ring.nodes
+
+    def test_excluding_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            make_ring().lookup_hashes_excluding(KEYS[:5], 42)
+
+    def test_excluding_last_node_raises(self):
+        ring = HashRing(nodes=[0], vnodes_per_node=5)
+        with pytest.raises(EmptyRingError):
+            ring.lookup_hashes_excluding(KEYS[:5], 0)
+
+
+class TestSuccessors:
+    def test_first_successor_is_owner(self):
+        ring = make_ring(8)
+        for i in range(50):
+            assert ring.successors(f"k{i}", 1) == [ring.lookup(f"k{i}")]
+
+    def test_distinct_nodes(self):
+        ring = make_ring(8)
+        succ = ring.successors("key", 5)
+        assert len(succ) == len(set(succ)) == 5
+
+    def test_k_capped_at_membership(self):
+        ring = make_ring(3)
+        assert len(ring.successors("key", 10)) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            make_ring().successors("key", 0)
+
+
+class TestIntrospection:
+    def test_arc_fractions_sum_to_one(self):
+        fractions = make_ring(8).arc_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert all(f > 0 for f in fractions.values())
+
+    def test_arc_fractions_track_load(self):
+        ring = make_ring(8, vn=200)
+        fractions = ring.arc_fractions()
+        counts = ring.assignment_counts(KEYS)
+        for n in ring.nodes:
+            assert counts[n] / len(KEYS) == pytest.approx(fractions[n], abs=0.02)
+
+    def test_vnode_positions_sorted_and_counted(self):
+        ring = make_ring(4, vn=30)
+        pos = ring.vnode_positions(2)
+        assert len(pos) == 30
+        assert np.all(np.diff(pos.astype(np.float64)) >= 0)
+
+    def test_positions_unit_interval(self):
+        u = make_ring().positions_unit()
+        assert np.all((u >= 0) & (u < 1))
+
+    def test_memory_grows_with_vnodes(self):
+        assert make_ring(8, vn=200).memory_footprint() > make_ring(8, vn=10).memory_footprint()
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=20),
+        vn=st.integers(min_value=1, max_value=40),
+        victim_idx=st.integers(min_value=0, max_value=19),
+    )
+    def test_minimal_movement_property(self, n_nodes, vn, victim_idx):
+        victim = victim_idx % n_nodes
+        ring = HashRing(nodes=range(n_nodes), vnodes_per_node=vn)
+        keys = KEYS[:2000]
+        before = ring.lookup_hashes(keys)
+        ring.remove_node(victim)
+        after = ring.lookup_hashes(keys)
+        moved_from = set(before[before != after].tolist())
+        assert moved_from <= {victim}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=12, unique=True))
+    def test_membership_independent_of_insertion_order(self, nodes):
+        keys = KEYS[:500]
+        a = HashRing(nodes=nodes, vnodes_per_node=20).lookup_hashes(keys)
+        b = HashRing(nodes=list(reversed(nodes)), vnodes_per_node=20).lookup_hashes(keys)
+        np.testing.assert_array_equal(a, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=5, max_value=50))
+    def test_every_node_owns_some_arc(self, n_nodes, vn):
+        ring = HashRing(nodes=range(n_nodes), vnodes_per_node=vn)
+        fractions = ring.arc_fractions()
+        assert set(fractions) == set(range(n_nodes))
+        assert sum(fractions.values()) == pytest.approx(1.0)

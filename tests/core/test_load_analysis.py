@@ -1,0 +1,101 @@
+"""Tests for movement/redistribution analysis (Fig 6b machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HashRing,
+    StaticHash,
+    bulk_hash64,
+    imbalance_stats,
+    movement_on_removal,
+    redistribution_after_failure,
+)
+
+KEYS = bulk_hash64(np.arange(30_000))
+
+
+class TestMovementOnRemoval:
+    def test_non_destructive(self):
+        ring = HashRing(nodes=range(8), vnodes_per_node=50)
+        movement_on_removal(ring, KEYS, 3)
+        assert 3 in ring.nodes
+
+    def test_ring_is_minimal(self):
+        report = movement_on_removal(HashRing(nodes=range(8), vnodes_per_node=50), KEYS, 3)
+        assert report.is_minimal
+        assert report.moved_keys == report.lost_keys
+        assert report.collateral_fraction == 0.0
+
+    def test_modulo_is_not_minimal(self):
+        report = movement_on_removal(StaticHash(nodes=range(8)), KEYS, 3)
+        assert not report.is_minimal
+        assert report.collateral_fraction > 0.7
+
+    def test_counts_consistent(self):
+        report = movement_on_removal(HashRing(nodes=range(4), vnodes_per_node=50), KEYS, 1)
+        assert report.total_keys == len(KEYS)
+        assert 0 < report.lost_keys < len(KEYS)
+        assert report.movement_fraction == pytest.approx(report.moved_keys / len(KEYS))
+
+    def test_unknown_victim(self):
+        with pytest.raises(KeyError):
+            movement_on_removal(StaticHash(nodes=range(3)), KEYS, 99)
+
+    def test_label_override(self):
+        report = movement_on_removal(StaticHash(nodes=range(3)), KEYS[:100], 0, label="custom")
+        assert report.policy == "custom"
+
+
+class TestRedistribution:
+    def test_receivers_are_survivors(self):
+        ring = HashRing(nodes=range(16), vnodes_per_node=100)
+        rep = redistribution_after_failure(ring, KEYS, 5)
+        assert 5 not in rep.receivers
+        assert rep.lost_files == sum(rep.receivers.values())
+
+    def test_more_vnodes_more_receivers(self):
+        few = redistribution_after_failure(HashRing(nodes=range(32), vnodes_per_node=5), KEYS, 3)
+        many = redistribution_after_failure(HashRing(nodes=range(32), vnodes_per_node=200), KEYS, 3)
+        assert many.receiver_count > few.receiver_count
+
+    def test_stats_consistent(self):
+        rep = redistribution_after_failure(HashRing(nodes=range(8), vnodes_per_node=50), KEYS, 2)
+        vals = list(rep.receivers.values())
+        assert rep.files_per_receiver_mean == pytest.approx(np.mean(vals))
+        assert rep.files_per_receiver_std == pytest.approx(np.std(vals))
+        assert rep.files_per_receiver_max == max(vals)
+
+    def test_empty_lost_set(self):
+        # A victim that owns nothing (tiny key set) yields an empty report.
+        ring = HashRing(nodes=range(64), vnodes_per_node=1)
+        few_keys = KEYS[:3]
+        owners = set(ring.lookup_hashes(few_keys).tolist())
+        victim = next(n for n in ring.nodes if n not in owners)
+        rep = redistribution_after_failure(ring, few_keys, victim)
+        assert rep.lost_files == 0 and rep.receiver_count == 0
+        assert rep.files_per_receiver_mean == 0.0
+
+    def test_non_destructive(self):
+        ring = HashRing(nodes=range(8), vnodes_per_node=50)
+        redistribution_after_failure(ring, KEYS, 2)
+        assert 2 in ring.nodes
+
+
+class TestImbalanceStats:
+    def test_uniform_load(self):
+        s = imbalance_stats([10, 10, 10, 10])
+        assert s.cv == 0.0 and s.max_over_mean == 1.0 and s.min_over_mean == 1.0
+
+    def test_skewed_load(self):
+        s = imbalance_stats([1, 1, 1, 97])
+        assert s.cv > 1.0
+        assert s.max_over_mean == pytest.approx(97 / 25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_stats([])
+
+    def test_zero_mean(self):
+        s = imbalance_stats([0, 0])
+        assert s.cv == 0.0 and s.mean == 0.0

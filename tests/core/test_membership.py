@@ -1,0 +1,59 @@
+"""Tests for the client-side membership view."""
+
+import pytest
+
+from repro.core import MembershipView, NodeState
+
+
+class TestMembershipView:
+    def test_initial_all_active(self):
+        m = MembershipView(range(4))
+        assert m.active_nodes == (0, 1, 2, 3)
+        assert m.failed_nodes == ()
+        assert all(m.is_active(n) for n in range(4))
+
+    def test_mark_failed(self):
+        m = MembershipView(range(4))
+        m.mark_failed(2)
+        assert m.state_of(2) is NodeState.FAILED
+        assert 2 in m.failed_nodes and 2 not in m.active_nodes
+
+    def test_mark_active_rejoin(self):
+        m = MembershipView(range(2))
+        m.mark_failed(0)
+        m.mark_active(0)
+        assert m.is_active(0)
+
+    def test_unknown_node_raises(self):
+        m = MembershipView(range(2))
+        with pytest.raises(KeyError):
+            m.mark_failed(9)
+        with pytest.raises(KeyError):
+            m.state_of(9)
+
+    def test_version_bumps_on_transitions_only(self):
+        m = MembershipView(range(2))
+        v0 = m.version
+        m.mark_failed(1)
+        v1 = m.version
+        m.mark_failed(1)  # no-op: already failed
+        assert v1 == v0 + 1 and m.version == v1
+
+    def test_listeners_notified(self):
+        m = MembershipView(range(3))
+        events = []
+        m.subscribe(lambda n, s: events.append((n, s)))
+        m.mark_failed(1)
+        m.mark_active(1)
+        assert events == [(1, NodeState.FAILED), (1, NodeState.ACTIVE)]
+
+    def test_admit_new_node(self):
+        m = MembershipView(range(2))
+        m.admit(7)
+        assert m.is_active(7) and len(m) == 3
+        with pytest.raises(ValueError):
+            m.admit(7)
+
+    def test_contains_and_len(self):
+        m = MembershipView(range(3))
+        assert 2 in m and 5 not in m and len(m) == 3

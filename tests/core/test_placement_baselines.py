@@ -1,0 +1,169 @@
+"""Tests for StaticHash, RendezvousHash, and RangePartition baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RangePartition,
+    RendezvousHash,
+    StaticHash,
+    bulk_hash64,
+    movement_on_removal,
+)
+
+KEYS = bulk_hash64(np.arange(20_000))
+
+
+class TestStaticHash:
+    def test_lookup_modulo_semantics(self):
+        sh = StaticHash(nodes=["a", "b", "c"])
+        h = 7
+        assert sh.lookup_hash(h) == ["a", "b", "c"][h % 3]
+
+    def test_bulk_matches_scalar(self):
+        sh = StaticHash(nodes=range(7))
+        bulk = sh.lookup_hashes(KEYS[:300])
+        assert list(bulk) == [sh.lookup_hash(int(h)) for h in KEYS[:300]]
+
+    def test_uniform_distribution(self):
+        sh = StaticHash(nodes=range(8))
+        counts = sh.assignment_counts(KEYS)
+        arr = np.array(list(counts.values()))
+        assert arr.max() < 1.1 * arr.mean()
+
+    def test_removal_moves_most_keys(self):
+        # The (N-1)/N global reshuffle that motivates the ring (Sec IV-B).
+        sh = StaticHash(nodes=range(8))
+        report = movement_on_removal(sh, KEYS, 3)
+        assert report.movement_fraction > 0.8
+        assert not report.is_minimal
+
+    def test_duplicate_and_missing_nodes(self):
+        sh = StaticHash(nodes=[1, 2])
+        with pytest.raises(ValueError):
+            sh.add_node(1)
+        with pytest.raises(KeyError):
+            sh.remove_node(9)
+
+    def test_empty_lookup_raises(self):
+        with pytest.raises(LookupError):
+            StaticHash().lookup_hash(1)
+
+
+class TestRendezvousHash:
+    def test_bulk_matches_scalar(self):
+        rv = RendezvousHash(nodes=range(9))
+        bulk = rv.lookup_hashes(KEYS[:300])
+        assert list(bulk) == [rv.lookup_hash(int(h)) for h in KEYS[:300]]
+
+    def test_minimal_movement_on_removal(self):
+        rv = RendezvousHash(nodes=range(8))
+        report = movement_on_removal(rv, KEYS, 3)
+        assert report.is_minimal
+        assert report.lost_keys > 0
+
+    def test_minimal_movement_on_addition(self):
+        rv = RendezvousHash(nodes=range(8))
+        before = rv.lookup_hashes(KEYS)
+        rv.add_node(100)
+        after = rv.lookup_hashes(KEYS)
+        moved = before != after
+        assert set(after[moved].tolist()) == {100}
+
+    def test_uniformity(self):
+        rv = RendezvousHash(nodes=range(8))
+        counts = rv.assignment_counts(KEYS)
+        arr = np.array(list(counts.values()))
+        assert arr.max() < 1.15 * arr.mean()
+
+    def test_membership_errors(self):
+        rv = RendezvousHash(nodes=[1])
+        with pytest.raises(ValueError):
+            rv.add_node(1)
+        with pytest.raises(KeyError):
+            rv.remove_node(2)
+        rv.remove_node(1)
+        with pytest.raises(LookupError):
+            rv.lookup_hash(0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=11))
+    def test_minimal_movement_property(self, n, victim_idx):
+        victim = victim_idx % n
+        rv = RendezvousHash(nodes=range(n))
+        keys = KEYS[:2000]
+        before = rv.lookup_hashes(keys)
+        rv.remove_node(victim)
+        after = rv.lookup_hashes(keys)
+        assert set(before[before != after].tolist()) <= {victim}
+
+
+class TestRangePartition:
+    def test_lookup_contiguity(self):
+        rp = RangePartition(nodes=range(4))
+        lo, hi = rp.range_of(1)
+        assert rp.lookup_hash(lo) == 1
+        assert rp.lookup_hash(hi - 1) == 1
+
+    def test_bulk_matches_scalar(self):
+        rp = RangePartition(nodes=range(6))
+        bulk = rp.lookup_hashes(KEYS[:300])
+        assert list(bulk) == [rp.lookup_hash(int(h)) for h in KEYS[:300]]
+
+    def test_even_initial_balance(self):
+        rp = RangePartition(nodes=range(8))
+        counts = rp.assignment_counts(KEYS)
+        arr = np.array(list(counts.values()))
+        assert arr.max() < 1.15 * arr.mean()
+
+    def test_absorb_mode_minimal_but_imbalanced(self):
+        rp = RangePartition(nodes=range(8), rebalance=False)
+        report = movement_on_removal(rp, KEYS, 3)
+        assert report.is_minimal
+        rp.remove_node(3)
+        counts = rp.assignment_counts(KEYS)
+        arr = np.array(list(counts.values()))
+        # The absorbing neighbour now carries ~2x the average share.
+        assert arr.max() > 1.5 * arr.mean()
+
+    def test_rebalance_mode_moves_collateral(self):
+        # "Maintaining load balance might require adjustments to other
+        # nodes' data ranges as well" (Sec IV-B).
+        rp = RangePartition(nodes=range(8), rebalance=True)
+        report = movement_on_removal(rp, KEYS, 3)
+        assert report.collateral_moves > 0
+
+    def test_rebalance_mode_stays_balanced(self):
+        rp = RangePartition(nodes=range(8), rebalance=True)
+        rp.remove_node(3)
+        counts = rp.assignment_counts(KEYS)
+        arr = np.array(list(counts.values()))
+        assert arr.max() < 1.2 * arr.mean()
+
+    def test_add_node_rebalance(self):
+        rp = RangePartition(nodes=range(4), rebalance=True)
+        rp.add_node(99)
+        assert len(rp.nodes) == 5
+        counts = rp.assignment_counts(KEYS)
+        assert counts[99] > 0
+
+    def test_add_node_absorb_splits_widest(self):
+        rp = RangePartition(nodes=range(4), rebalance=False)
+        rp.remove_node(1)
+        rp.add_node(77)
+        assert 77 in rp.nodes
+        counts = rp.assignment_counts(KEYS)
+        assert counts[77] > 0
+
+    def test_membership_errors(self):
+        rp = RangePartition(nodes=[1, 2])
+        with pytest.raises(ValueError):
+            rp.add_node(2)
+        with pytest.raises(KeyError):
+            rp.remove_node(5)
+
+    def test_duplicate_nodes_rejected_at_init(self):
+        with pytest.raises(ValueError):
+            RangePartition(nodes=[1, 1])

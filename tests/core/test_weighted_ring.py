@@ -1,0 +1,58 @@
+"""Tests for capacity-weighted ring placement."""
+
+import numpy as np
+import pytest
+
+from repro.core import HashRing, bulk_hash64
+
+KEYS = bulk_hash64(np.arange(50_000))
+
+
+class TestWeights:
+    def test_default_weight_is_one(self):
+        ring = HashRing(nodes=range(3), vnodes_per_node=50)
+        assert ring.weight_of(1) == 1.0
+        assert ring.vnodes_of(1) == 50
+
+    def test_vnode_scaling(self):
+        ring = HashRing(nodes=range(3), vnodes_per_node=100, weights={0: 2.0, 2: 0.25})
+        assert ring.vnodes_of(0) == 200
+        assert ring.vnodes_of(1) == 100
+        assert ring.vnodes_of(2) == 25
+
+    def test_tiny_weight_keeps_at_least_one_vnode(self):
+        ring = HashRing(nodes=[7], vnodes_per_node=10, weights={7: 1e-6})
+        assert ring.vnodes_of(7) == 1
+        assert ring.ring_size == 1
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            HashRing(nodes=[0], weights={0: 0.0})
+        with pytest.raises(ValueError):
+            HashRing(nodes=[0], weights={0: -1.0})
+
+    def test_load_proportional_to_weight(self):
+        ring = HashRing(nodes=range(4), vnodes_per_node=200, weights={0: 2.0})
+        counts = ring.assignment_counts(KEYS)
+        others = np.mean([counts[n] for n in (1, 2, 3)])
+        assert counts[0] == pytest.approx(2 * others, rel=0.15)
+
+    def test_arc_fractions_track_weights(self):
+        ring = HashRing(nodes=range(4), vnodes_per_node=200, weights={3: 0.5})
+        fr = ring.arc_fractions()
+        assert fr[3] == pytest.approx(0.5 / 3.5, abs=0.04)
+
+    def test_minimal_movement_preserved_with_weights(self):
+        ring = HashRing(nodes=range(6), vnodes_per_node=100, weights={1: 3.0, 4: 0.5})
+        before = ring.lookup_hashes(KEYS)
+        ring.remove_node(1)
+        after = ring.lookup_hashes(KEYS)
+        moved_from = set(before[before != after].tolist())
+        assert moved_from <= {1}
+
+    def test_heavy_node_loses_more_on_failure(self):
+        ring = HashRing(nodes=range(8), vnodes_per_node=100, weights={0: 3.0})
+        owners = ring.lookup_hashes(KEYS)
+        lost_heavy = int((owners == 0).sum())
+        lost_light = int((owners == 5).sum())
+        assert lost_heavy > 2 * lost_light

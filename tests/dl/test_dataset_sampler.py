@@ -1,0 +1,170 @@
+"""Tests for Dataset, CosmoFlow preset, and the distributed sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import (
+    COSMOFLOW_SAMPLE_BYTES,
+    COSMOFLOW_TRAIN_SAMPLES,
+    Dataset,
+    DistributedSampler,
+    cosmoflow_dataset,
+)
+
+
+class TestDataset:
+    def test_uniform_sizes(self):
+        ds = Dataset(name="d", n_samples=10, sample_bytes=100.0)
+        assert ds.file_size(3) == 100.0
+        assert ds.total_bytes == 1000.0
+        assert len(ds) == 10
+
+    def test_per_sample_sizes(self):
+        sizes = np.array([1.0, 2.0, 3.0])
+        ds = Dataset(name="d", n_samples=3, sample_bytes=sizes)
+        assert ds.file_size(2) == 3.0
+        assert ds.total_bytes == 6.0
+        np.testing.assert_array_equal(ds.sizes_array(), sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(name="d", n_samples=0)
+        with pytest.raises(ValueError):
+            Dataset(name="d", n_samples=2, sample_bytes=np.array([1.0]))
+        with pytest.raises(ValueError):
+            Dataset(name="d", n_samples=1, sample_bytes=-1.0)
+        with pytest.raises(IndexError):
+            Dataset(name="d", n_samples=2).file_size(2)
+
+    def test_catalog_and_paths(self):
+        ds = Dataset(name="cosmo", n_samples=3, sample_bytes=5.0)
+        cat = ds.catalog()
+        assert len(cat) == 3
+        path = ds.path_of(1)
+        assert "cosmo" in path and cat[path] == (1, 5.0)
+
+    def test_files_helper(self):
+        ds = Dataset(name="d", n_samples=5, sample_bytes=7.0)
+        assert ds.files([4, 0]) == [(4, 7.0), (0, 7.0)]
+
+    def test_iter_files(self):
+        ds = Dataset(name="d", n_samples=3, sample_bytes=1.0)
+        assert list(ds.iter_files()) == [(0, 1.0), (1, 1.0), (2, 1.0)]
+
+
+class TestCosmoflowPreset:
+    def test_full_scale_constants(self):
+        ds = cosmoflow_dataset(scale=1.0)
+        assert ds.n_samples == COSMOFLOW_TRAIN_SAMPLES == 524_288
+        assert ds.file_size(0) == pytest.approx(COSMOFLOW_SAMPLE_BYTES)
+        assert ds.total_bytes == pytest.approx(1.3e12 * 524288 / (524288 + 65536), rel=0.01)
+
+    def test_scaled_keeps_sample_size(self):
+        ds = cosmoflow_dataset(scale=1 / 16)
+        assert ds.n_samples == 32_768
+        assert ds.file_size(0) == pytest.approx(COSMOFLOW_SAMPLE_BYTES)
+
+    def test_validation_split(self):
+        assert cosmoflow_dataset(split="valid").n_samples == 65_536
+        with pytest.raises(ValueError):
+            cosmoflow_dataset(split="test")
+        with pytest.raises(ValueError):
+            cosmoflow_dataset(scale=0)
+        with pytest.raises(ValueError):
+            cosmoflow_dataset(scale=1.5)
+
+
+class TestSampler:
+    def _sampler(self, n=64, batch=4, seed=0):
+        return DistributedSampler(Dataset(name="d", n_samples=n, sample_bytes=1.0), batch, seed=seed)
+
+    def test_permutation_deterministic(self):
+        a = self._sampler().epoch_permutation(2)
+        b = self._sampler().epoch_permutation(2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_permutation_differs_per_epoch(self):
+        s = self._sampler()
+        p1 = s.epoch_permutation(1).copy()
+        assert not np.array_equal(p1, s.epoch_permutation(2))
+
+    def test_no_shuffle_identity(self):
+        s = DistributedSampler(Dataset(name="d", n_samples=10, sample_bytes=1.0), 2, shuffle=False)
+        np.testing.assert_array_equal(s.epoch_permutation(3), np.arange(10))
+
+    def test_shards_partition_dataset(self):
+        s = self._sampler(n=100)
+        shards = [s.rank_samples(0, r, 7) for r in range(7)]
+        union = np.concatenate(shards)
+        assert len(union) == 100
+        assert set(union.tolist()) == set(range(100))
+
+    def test_shards_balanced(self):
+        s = self._sampler(n=100)
+        lens = [len(s.rank_samples(0, r, 7)) for r in range(7)]
+        assert max(lens) - min(lens) <= 1
+
+    def test_steps_uniform_across_ranks(self):
+        s = self._sampler(n=100, batch=8)
+        steps = s.steps_per_epoch(7)
+        for r in range(7):
+            batches = list(s.iter_batches(0, r, 7))
+            assert len(batches) == steps
+            assert sum(len(b) for b in batches) == len(s.rank_samples(0, r, 7))
+
+    def test_batch_bounds(self):
+        s = self._sampler(n=20, batch=8)
+        assert len(s.batch(0, 0, 0, 2)) == 8
+        assert len(s.batch(0, 1, 0, 2)) == 2  # tail
+        assert len(s.batch(0, 5, 0, 2)) == 0  # past the end
+
+    def test_validation(self):
+        s = self._sampler()
+        with pytest.raises(ValueError):
+            s.rank_samples(0, 5, 3)
+        with pytest.raises(ValueError):
+            s.rank_samples(0, 0, 0)
+        with pytest.raises(ValueError):
+            DistributedSampler(Dataset(name="d", n_samples=4, sample_bytes=1.0), 0)
+
+    def test_remaining_after_partition(self):
+        s = self._sampler(n=100, batch=4)
+        consumed_steps = 3
+        remaining = s.remaining_after(0, consumed_steps, 5)
+        # Each of 5 ranks consumed 12 samples → 40 consumed, 60 remain.
+        assert len(remaining) == 100 - 5 * 12
+        perm = s.epoch_permutation(0)
+        consumed = set()
+        for r in range(5):
+            consumed.update(perm[r::5][: consumed_steps * 4].tolist())
+        assert set(remaining.tolist()) == set(range(100)) - consumed
+
+    def test_remaining_after_zero_steps_is_everything(self):
+        s = self._sampler(n=50)
+        assert len(s.remaining_after(1, 0, 4)) == 50
+
+    def test_shard_matrix_shape_and_content(self):
+        samples = np.arange(10)
+        m = DistributedSampler.shard_matrix(samples, n_ranks=3, batch_size=2)
+        assert m.shape == (3, 4)  # ceil(ceil(10/3)/2)=2 steps × batch 2
+        valid = m[m >= 0]
+        assert sorted(valid.tolist()) == list(range(10))
+
+    def test_shard_matrix_empty(self):
+        m = DistributedSampler.shard_matrix(np.array([], dtype=np.int64), 2, 4)
+        assert (m == -1).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        ranks=st.integers(min_value=1, max_value=16),
+        batch=st.integers(min_value=1, max_value=16),
+    )
+    def test_shard_matrix_partition_property(self, n, ranks, batch):
+        samples = np.random.default_rng(0).permutation(n)
+        m = DistributedSampler.shard_matrix(samples, ranks, batch)
+        valid = m[m >= 0]
+        assert sorted(valid.tolist()) == sorted(samples.tolist())
+        assert m.shape[1] % batch == 0

@@ -1,0 +1,92 @@
+"""Tests for the step barrier and elastic-restart cost model."""
+
+import pytest
+
+from repro.dl import ElasticConfig, StepBarrier
+from repro.sim import Environment
+from tests.conftest import run_proc
+
+
+class TestElasticConfig:
+    def test_restart_time_grows_with_nodes(self):
+        cfg = ElasticConfig()
+        assert cfg.restart_time(1024) > cfg.restart_time(64) > 0
+
+    def test_restart_time_formula(self):
+        cfg = ElasticConfig(restart_overhead=5.0, restart_per_log2_node=2.0)
+        assert cfg.restart_time(64) == pytest.approx(5.0 + 2.0 * 6)
+        assert cfg.restart_time(1) == pytest.approx(5.0 + 2.0)  # clamped to log2(2)
+
+
+class TestStepBarrier:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            StepBarrier(env, parties=0)
+        with pytest.raises(ValueError):
+            StepBarrier(env, parties=1, allreduce_time=-1)
+
+    def test_all_released_when_last_arrives(self, env):
+        barrier = StepBarrier(env, parties=3)
+        times = {}
+
+        def rank(tag, work):
+            yield env.timeout(work)
+            yield barrier.arrive()
+            times[tag] = env.now
+
+        for i, work in enumerate((1.0, 2.0, 5.0)):
+            env.process(rank(i, work))
+        env.run()
+        # Straggler semantics: everyone waits for the slowest.
+        assert all(t == pytest.approx(5.0) for t in times.values())
+
+    def test_allreduce_delay_added(self, env):
+        barrier = StepBarrier(env, parties=2, allreduce_time=0.5)
+
+        def rank():
+            yield barrier.arrive()
+            return env.now
+
+        a = env.process(rank())
+        b = env.process(rank())
+        env.run()
+        assert a.value == b.value == pytest.approx(0.5)
+
+    def test_cyclic_reuse_across_steps(self, env):
+        barrier = StepBarrier(env, parties=2)
+        log = []
+
+        def rank(tag):
+            for step in range(3):
+                yield env.timeout(1.0 if tag == 0 else 2.0)
+                yield barrier.arrive()
+                log.append((tag, step, env.now))
+
+        env.process(rank(0))
+        env.process(rank(1))
+        env.run()
+        assert barrier.generations == 3
+        step_times = sorted({t for _, _, t in log})
+        assert step_times == pytest.approx([2.0, 4.0, 6.0])
+
+    def test_missing_party_blocks_forever(self, env):
+        barrier = StepBarrier(env, parties=2)
+
+        def lonely():
+            yield barrier.arrive()
+            return "released"
+
+        proc = env.process(lonely())
+        env.run(until=100.0)
+        assert proc.is_alive  # still stuck — nobody else arrived
+        assert barrier.waiting == 1
+
+    def test_single_party_never_blocks(self, env):
+        barrier = StepBarrier(env, parties=1)
+
+        def solo():
+            for _ in range(5):
+                yield barrier.arrive()
+            return env.now
+
+        assert run_proc(env, solo()) == 0.0

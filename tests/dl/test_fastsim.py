@@ -1,0 +1,142 @@
+"""Tests for the fluid training model, incl. DES cross-validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import frontier
+from repro.dl import Dataset, ElasticConfig, TrainingConfig, TrainingJob
+from repro.dl.fastsim import FluidTrainingModel
+
+DS = Dataset(name="toy", n_samples=256, sample_bytes=2.0e6)
+
+
+def quiet_cc(n=8):
+    cc = frontier(n)
+    return replace(cc, pfs=replace(cc.pfs, service_noise_sigma=0.0))
+
+
+def cfg(**over):
+    base = dict(
+        epochs=3,
+        batch_size=8,
+        ttl=0.5,
+        timeout_threshold=2,
+        elastic=ElasticConfig(detect_time=1.0, restart_overhead=2.0, restart_per_log2_node=0.0),
+    )
+    base.update(over)
+    return TrainingConfig(**base)
+
+
+class TestBasicRuns:
+    @pytest.mark.parametrize("policy", ["NoFT", "FT w/ PFS", "FT w/ NVMe"])
+    def test_completes_without_failures(self, policy):
+        res = FluidTrainingModel(quiet_cc(), DS, policy, cfg(), n_failures=0, seed=1).run()
+        assert res.completed and res.failures == 0
+        assert sorted(res.epoch_times) == [0, 1, 2]
+
+    def test_cold_epoch_slowest(self):
+        res = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), n_failures=0, seed=1).run()
+        assert res.epoch_times[0] > res.epoch_times[1]
+
+    def test_preload_removes_cold_cost(self):
+        res = FluidTrainingModel(
+            quiet_cc(), DS, "FT w/ NVMe", cfg(preload=True), n_failures=0, seed=1
+        ).run()
+        assert res.epoch_times[0] == pytest.approx(res.epoch_times[1], rel=0.05)
+
+    def test_deterministic(self):
+        run = lambda: FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), 2, seed=4).run().total_time
+        assert run() == run()
+
+    def test_pfs_accounting_cold_epoch(self):
+        res = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), n_failures=0, seed=1).run()
+        # Exactly one full-dataset pass through the PFS (the cold epoch).
+        assert res.pfs_files == DS.n_samples
+        assert res.pfs_bytes == pytest.approx(DS.total_bytes)
+
+
+class TestFailures:
+    def test_noft_aborts(self):
+        res = FluidTrainingModel(quiet_cc(), DS, "NoFT", cfg(), n_failures=1, seed=2).run()
+        assert not res.completed and "NoFT" in res.abort_reason
+
+    @pytest.mark.parametrize("policy", ["FT w/ PFS", "FT w/ NVMe"])
+    def test_ft_survives_all_failures(self, policy):
+        res = FluidTrainingModel(quiet_cc(), DS, policy, cfg(), n_failures=3, seed=2).run()
+        assert res.completed
+        assert res.failures == 3
+        assert res.restarts == 3
+        assert res.n_nodes_end == res.n_nodes_start - 3
+
+    def test_failures_cost_time(self):
+        t0 = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), 0, seed=2).run().total_time
+        t1 = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), 2, seed=2).run().total_time
+        assert t1 > t0
+
+    def test_pfs_policy_rereads_lost_data_every_epoch(self):
+        nvme = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(epochs=5), 1, seed=2).run()
+        pfs = FluidTrainingModel(quiet_cc(), DS, "FT w/ PFS", cfg(epochs=5), 1, seed=2).run()
+        # Redirect keeps going back to the PFS; recache pays once.
+        assert pfs.pfs_files > nvme.pfs_files
+
+    def test_nvme_beats_pfs_under_failures(self):
+        t_nvme = FluidTrainingModel(quiet_cc(16), DS, "FT w/ NVMe", cfg(epochs=5), 3, seed=6).run().total_time
+        t_pfs = FluidTrainingModel(quiet_cc(16), DS, "FT w/ PFS", cfg(epochs=5), 3, seed=6).run().total_time
+        assert t_nvme < t_pfs
+
+    def test_epoch_recovery_slower_than_step(self):
+        t_step = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(recovery="step"), 2, seed=3).run().total_time
+        t_epoch = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(recovery="epoch"), 2, seed=3).run().total_time
+        assert t_epoch > t_step
+
+    def test_failure_plan_respects_first_epoch(self):
+        model = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), 4, seed=5)
+        res = model.run()
+        first_epoch_end = next(r.end for r in res.timeline.epochs if r.epoch == 0)
+        assert all(f.time > first_epoch_end for f in res.timeline.failures)
+
+    def test_too_few_epochs_for_injection_rejected(self):
+        model = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(epochs=1), 1, seed=5)
+        with pytest.raises(ValueError):
+            model.run()
+
+
+class TestCrossValidation:
+    """The fluid model must agree with the event-level DES at small scale."""
+
+    @pytest.mark.parametrize("policy", ["FT w/ PFS", "FT w/ NVMe"])
+    def test_no_failure_totals_agree(self, policy):
+        cc = quiet_cc(8)
+        cluster = Cluster(cc, seed=5)
+        des = TrainingJob(cluster, DS, policy, cfg()).run()
+        fluid = FluidTrainingModel(cc, DS, policy, cfg(), n_failures=0, seed=5).run()
+        assert fluid.total_time == pytest.approx(des.total_time, rel=0.15)
+
+    def test_warm_epochs_agree_tightly(self):
+        cc = quiet_cc(8)
+        cluster = Cluster(cc, seed=5)
+        des = TrainingJob(cluster, DS, "FT w/ NVMe", cfg()).run()
+        fluid = FluidTrainingModel(cc, DS, "FT w/ NVMe", cfg(), n_failures=0, seed=5).run()
+        assert fluid.epoch_times[1] == pytest.approx(des.epoch_times[1], rel=0.03)
+        assert fluid.epoch_times[2] == pytest.approx(des.epoch_times[2], rel=0.03)
+
+    def test_policy_ordering_agrees_under_failures(self):
+        cc = quiet_cc(8)
+
+        def des_time(policy):
+            from repro.cluster.slurm import SlurmController
+            from repro.failures import FailureInjector
+
+            cluster = Cluster(cc, seed=5)
+            job = TrainingJob(cluster, DS, policy, cfg(epochs=5))
+            FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 2)
+            return job.run().total_time
+
+        def fluid_time(policy):
+            return FluidTrainingModel(cc, DS, policy, cfg(epochs=5), 2, seed=5).run().total_time
+
+        assert (des_time("FT w/ NVMe") <= des_time("FT w/ PFS")) == (
+            fluid_time("FT w/ NVMe") <= fluid_time("FT w/ PFS")
+        )

@@ -1,0 +1,86 @@
+"""Tests for the prefetch-pipeline loader option (both engines)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import frontier
+from repro.dl import Dataset, TrainingConfig, TrainingJob
+from repro.dl.fastsim import FluidTrainingModel
+
+DS = Dataset(name="t", n_samples=256, sample_bytes=2.2e6)
+
+
+def quiet_cc(n=8):
+    cc = frontier(n)
+    return replace(cc, pfs=replace(cc.pfs, service_noise_sigma=0.0))
+
+
+class TestFluidPipelined:
+    def test_pipelining_hides_cold_epoch_io(self):
+        plain = FluidTrainingModel(
+            quiet_cc(), DS, "FT w/ NVMe", TrainingConfig(epochs=2, batch_size=8), 0, seed=1
+        ).run()
+        piped = FluidTrainingModel(
+            quiet_cc(),
+            DS,
+            "FT w/ NVMe",
+            TrainingConfig(epochs=2, batch_size=8, pipelined_loader=True),
+            0,
+            seed=1,
+        ).run()
+        assert piped.epoch_times[0] < plain.epoch_times[0]
+        # Warm epochs were compute-bound already: pipelining changes little.
+        assert piped.epoch_times[1] == pytest.approx(plain.epoch_times[1], rel=0.05)
+
+    def test_pipelined_never_slower(self):
+        for failures in (0, 2):
+            plain = FluidTrainingModel(
+                quiet_cc(), DS, "FT w/ NVMe", TrainingConfig(epochs=3, batch_size=8), failures, seed=2
+            ).run()
+            piped = FluidTrainingModel(
+                quiet_cc(),
+                DS,
+                "FT w/ NVMe",
+                TrainingConfig(epochs=3, batch_size=8, pipelined_loader=True),
+                failures,
+                seed=2,
+            ).run()
+            assert piped.total_time <= plain.total_time + 1e-9
+
+
+class TestDesPipelined:
+    def test_des_pipelining_hides_cold_epoch_io(self):
+        cc = quiet_cc()
+        plain = TrainingJob(
+            Cluster(cc, seed=3), DS, "FT w/ NVMe", TrainingConfig(epochs=2, batch_size=8)
+        ).run()
+        piped = TrainingJob(
+            Cluster(cc, seed=3),
+            DS,
+            "FT w/ NVMe",
+            TrainingConfig(epochs=2, batch_size=8, pipelined_loader=True),
+        ).run()
+        assert piped.epoch_times[0] < plain.epoch_times[0]
+        assert piped.completed and plain.completed
+
+    def test_des_pipelined_survives_failure(self):
+        from repro.cluster.slurm import SlurmController
+        from repro.failures import FailureInjector
+
+        cluster = Cluster(quiet_cc(), seed=3)
+        cfg = TrainingConfig(
+            epochs=3, batch_size=8, ttl=0.4, timeout_threshold=2, pipelined_loader=True
+        )
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg)
+        FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 1)
+        res = job.run()
+        assert res.completed and res.failures == 1
+
+    def test_des_fluid_agree_when_pipelined(self):
+        cc = quiet_cc()
+        cfg = TrainingConfig(epochs=2, batch_size=8, pipelined_loader=True)
+        des = TrainingJob(Cluster(cc, seed=5), DS, "FT w/ NVMe", cfg).run()
+        fluid = FluidTrainingModel(cc, DS, "FT w/ NVMe", cfg, 0, seed=5).run()
+        assert fluid.total_time == pytest.approx(des.total_time, rel=0.15)

@@ -1,0 +1,81 @@
+"""Tests for push-based (proactive) recaching after failure declaration."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import frontier
+from repro.cluster.slurm import SlurmController
+from repro.dl import Dataset, ElasticConfig, TrainingConfig, TrainingJob
+from repro.dl.fastsim import FluidTrainingModel
+from repro.failures import FailureInjector
+
+DS = Dataset(name="t", n_samples=256, sample_bytes=2.0e6)
+
+
+def quiet_cc(n=8):
+    cc = frontier(n)
+    return replace(cc, pfs=replace(cc.pfs, service_noise_sigma=0.0))
+
+
+def cfg(**over):
+    base = dict(
+        epochs=4,
+        batch_size=8,
+        ttl=0.4,
+        timeout_threshold=2,
+        elastic=ElasticConfig(detect_time=0.5, restart_overhead=1.0, restart_per_log2_node=0.0),
+    )
+    base.update(over)
+    return TrainingConfig(**base)
+
+
+def run_des(proactive, seed=4, n_failures=1):
+    cluster = Cluster(quiet_cc(), seed=seed)
+    job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg(proactive_recache=proactive))
+    FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, n_failures)
+    return job.run()
+
+
+class TestDesProactive:
+    def test_prefetch_happens(self):
+        res = run_des(True)
+        assert res.completed
+        assert res.metrics.get("proactive.files") > 0
+
+    def test_lost_files_end_up_cached(self):
+        cluster = Cluster(quiet_cc(), seed=4)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg(proactive_recache=True))
+        FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 1)
+        res = job.run()
+        assert res.completed
+        cached = sum(len(s.store) for i, s in enumerate(job.servers) if cluster.nodes[i].alive)
+        assert cached == DS.n_samples
+
+    def test_not_slower_than_reactive(self):
+        t_reactive = run_des(False).total_time
+        t_proactive = run_des(True).total_time
+        assert t_proactive <= t_reactive * 1.05
+
+    def test_cascading_failures_recover(self):
+        res = run_des(True, n_failures=2)
+        assert res.completed and res.failures == 2
+
+
+class TestFluidProactive:
+    def test_no_demand_refetch_penalty(self):
+        base = FluidTrainingModel(quiet_cc(16), DS, "FT w/ NVMe", cfg(), 2, seed=4).run()
+        pro = FluidTrainingModel(
+            quiet_cc(16), DS, "FT w/ NVMe", cfg(proactive_recache=True), 2, seed=4
+        ).run()
+        assert pro.total_time <= base.total_time
+        # The PFS still re-reads the lost bytes (in the background).
+        assert pro.pfs_files >= DS.n_samples
+
+    def test_noop_without_failures(self):
+        a = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), 0, seed=1).run()
+        b = FluidTrainingModel(
+            quiet_cc(), DS, "FT w/ NVMe", cfg(proactive_recache=True), 0, seed=1
+        ).run()
+        assert a.total_time == pytest.approx(b.total_time)

@@ -1,0 +1,65 @@
+"""Tests for per-step straggler recording in the fluid model."""
+
+import pytest
+
+from repro.cluster.config import frontier
+from repro.dl import Dataset, TrainingConfig
+from repro.dl.fastsim import FluidTrainingModel
+
+DS = Dataset(name="t", n_samples=512, sample_bytes=2.0e6)
+CFG = TrainingConfig(epochs=3, batch_size=8)
+
+
+class TestStepRecording:
+    def test_off_by_default(self):
+        m = FluidTrainingModel(frontier(8), DS, "FT w/ NVMe", CFG, 0, seed=1)
+        m.run()
+        assert m.step_records == []
+        with pytest.raises(ValueError):
+            m.straggler_summary()
+
+    def test_records_cover_all_steps(self):
+        m = FluidTrainingModel(frontier(8), DS, "FT w/ NVMe", CFG, 0, seed=1, record_steps=True)
+        res = m.run()
+        steps_per_epoch = m.sampler.steps_per_epoch(8)
+        assert len(m.step_records) == CFG.epochs * steps_per_epoch
+        epochs_seen = {e for e, _, _ in m.step_records}
+        assert epochs_seen == set(range(CFG.epochs))
+        # Sum of step durations ≈ total run time (no failures → no extras).
+        assert sum(d for _, d, _ in m.step_records) == pytest.approx(res.total_time, rel=1e-6)
+
+    def test_summary_fields(self):
+        m = FluidTrainingModel(frontier(8), DS, "FT w/ NVMe", CFG, 0, seed=1, record_steps=True)
+        m.run()
+        s = m.straggler_summary()
+        assert set(s) == {"steps", "mean", "p50", "p99", "max"}
+        assert s["max"] >= s["p99"] >= s["p50"] >= 1.0
+
+    def test_pfs_redirect_stragglers_worse_than_recaching(self):
+        # The paper's core claim, at the step level: redirected reads make
+        # the slowest rank far slower than the median; recaching heals it.
+        def p99(policy):
+            m = FluidTrainingModel(
+                frontier(16),
+                Dataset(name="t", n_samples=2048, sample_bytes=2.2e6),
+                policy,
+                TrainingConfig(epochs=4, batch_size=8),
+                2,
+                seed=3,
+                record_steps=True,
+            )
+            m.run()
+            return m.straggler_summary()["p99"]
+
+        assert p99("FT w/ PFS") > p99("FT w/ NVMe")
+
+    def test_failures_worsen_stragglers(self):
+        def mean_ratio(n_failures):
+            m = FluidTrainingModel(
+                frontier(16), DS, "FT w/ PFS", TrainingConfig(epochs=4, batch_size=8),
+                n_failures, seed=5, record_steps=True,
+            )
+            m.run()
+            return m.straggler_summary()["mean"]
+
+        assert mean_ratio(2) > mean_ratio(0)

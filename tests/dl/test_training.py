@@ -1,0 +1,161 @@
+"""Integration tests for the event-level training job (DES)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.slurm import SlurmController
+from repro.dl import Dataset, ElasticConfig, TrainingConfig, TrainingJob
+from repro.failures import FailureInjector
+
+DS = Dataset(name="toy", n_samples=256, sample_bytes=2.0e6)
+
+
+def small_config(**over):
+    base = dict(
+        epochs=3,
+        batch_size=8,
+        ttl=0.5,
+        timeout_threshold=2,
+        elastic=ElasticConfig(detect_time=1.0, restart_overhead=2.0, restart_per_log2_node=0.0),
+    )
+    base.update(over)
+    return TrainingConfig(**base)
+
+
+def run_job(policy, n_nodes=8, n_failures=0, seed=7, config=None, **job_kw):
+    cluster = Cluster.frontier(n_nodes=n_nodes, seed=seed)
+    job = TrainingJob(cluster, DS, policy, config or small_config(), **job_kw)
+    if n_failures:
+        injector = FailureInjector(SlurmController(cluster))
+        injector.inject_after_first_epoch(job, n_failures=n_failures)
+    return job.run()
+
+
+class TestNoFailureRuns:
+    @pytest.mark.parametrize("policy", ["NoFT", "FT w/ PFS", "FT w/ NVMe"])
+    def test_completes_all_epochs(self, policy):
+        res = run_job(policy)
+        assert res.completed
+        assert sorted(res.epoch_times) == [0, 1, 2]
+        assert res.restarts == 0 and res.failures == 0
+        assert res.n_nodes_end == res.n_nodes_start == 8
+
+    def test_first_epoch_cold_is_slowest(self):
+        res = run_job("FT w/ NVMe")
+        assert res.epoch_times[0] > res.epoch_times[1]
+        assert res.epoch_times[1] == pytest.approx(res.epoch_times[2], rel=0.05)
+
+    def test_noft_is_fastest_without_failures(self):
+        # Fig 5a: the FT bookkeeping overhead makes NoFT win slightly.
+        # NoFT and FT w/ PFS share the StaticHash placement, so there the
+        # ordering is strict; FT w/ NVMe uses ring placement whose different
+        # local/remote mix adds noise — the paper itself calls the Fig 5a
+        # differences "within acceptable error margins", so allow 1%.
+        t_noft = run_job("NoFT").total_time
+        t_pfs = run_job("FT w/ PFS").total_time
+        t_nvme = run_job("FT w/ NVMe").total_time
+        assert t_noft < t_pfs
+        assert t_noft < t_nvme * 1.01
+
+    def test_preload_skips_cold_epoch(self):
+        res = run_job("FT w/ NVMe", config=small_config(preload=True))
+        assert res.epoch_times[0] == pytest.approx(res.epoch_times[1], rel=0.05)
+
+    def test_total_time_is_sum_of_epochs_plus_overheads(self):
+        res = run_job("FT w/ NVMe")
+        assert res.total_time == pytest.approx(sum(res.epoch_times.values()), rel=0.01)
+
+    def test_deterministic_given_seed(self):
+        a = run_job("FT w/ NVMe", seed=9).total_time
+        b = run_job("FT w/ NVMe", seed=9).total_time
+        assert a == b
+
+
+class TestFailureRuns:
+    def test_noft_aborts_on_failure(self):
+        res = run_job("NoFT", n_failures=1)
+        assert not res.completed
+        assert "NoFT" in res.abort_reason
+        assert res.failures == 1
+
+    @pytest.mark.parametrize("policy", ["FT w/ PFS", "FT w/ NVMe"])
+    def test_ft_policies_survive_failures(self, policy):
+        res = run_job(policy, n_failures=2)
+        assert res.completed
+        assert res.failures >= 1
+        assert res.restarts >= 1
+        assert res.n_nodes_end < res.n_nodes_start
+
+    def test_failure_costs_time(self):
+        base = run_job("FT w/ NVMe").total_time
+        failed = run_job("FT w/ NVMe", n_failures=2).total_time
+        assert failed > base
+
+    def test_victim_epoch_flagged(self):
+        res = run_job("FT w/ NVMe", n_failures=1)
+        assert res.timeline.victim_epochs()
+
+    def test_metrics_capture_recache(self):
+        res = run_job("FT w/ NVMe", n_failures=1)
+        # Lost files fetched once more from the PFS by their new owners:
+        # recache count exceeds the initial full population.
+        assert res.metrics.get("server.recache_files") > DS.n_samples
+
+    def test_pfs_redirect_reads_pfs_every_epoch(self):
+        res = run_job("FT w/ PFS", n_failures=1)
+        assert res.metrics.get("client.pfs_direct_files") > 0
+
+    def test_elastic_restart_cost_charged(self):
+        res = run_job("FT w/ NVMe", n_failures=1)
+        attempts = [rec for rec in res.timeline.epochs]
+        assert sum(rec.restarts for rec in attempts) == res.restarts
+
+    def test_step_recovery_cheaper_than_epoch_recovery(self):
+        t_step = run_job("FT w/ NVMe", n_failures=2, config=small_config(recovery="step")).total_time
+        t_epoch = run_job("FT w/ NVMe", n_failures=2, config=small_config(recovery="epoch")).total_time
+        assert t_step < t_epoch
+
+    def test_step_recovery_consumes_each_sample_once_per_epoch(self):
+        # Under step recovery the committed prefix is not re-read: total
+        # files served per epoch equals the dataset exactly (cold epoch
+        # aside), so the whole run serves ~epochs × n_samples files.
+        res = run_job("FT w/ NVMe", n_failures=1, config=small_config(recovery="step"))
+        assert res.completed
+        served = res.metrics.get("client.files_read")
+        expected = small_config().epochs * DS.n_samples
+        # Allow the partial step in flight at the failure plus detection
+        # retries to add a little.
+        assert expected <= served <= expected * 1.1
+
+    def test_epoch_rollback_reruns_epoch(self):
+        # "epoch" recovery: the victim epoch appears in multiple attempts.
+        res = run_job("FT w/ NVMe", n_failures=1, config=small_config(recovery="epoch"))
+        assert res.completed
+        victim = res.timeline.victim_epochs()[0]
+        attempts = [rec for rec in res.timeline.epochs if rec.epoch == victim]
+        assert len(attempts) >= 2
+
+
+class TestJobConstruction:
+    def test_epoch_end_event_fires(self):
+        cluster = Cluster.frontier(n_nodes=4, seed=1)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", small_config())
+        evt = job.epoch_end_event(0)
+        job.start()
+        cluster.env.run()
+        assert evt.triggered
+
+    def test_double_start_rejected(self):
+        cluster = Cluster.frontier(n_nodes=4, seed=1)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", small_config())
+        job.start()
+        with pytest.raises(RuntimeError):
+            job.start()
+
+    def test_per_client_policies_mode(self):
+        res = run_job("FT w/ NVMe", shared_policy=False)
+        assert res.completed
+
+    def test_invalid_recovery_mode(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(recovery="bogus")

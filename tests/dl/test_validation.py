@@ -1,0 +1,103 @@
+"""Tests for the per-epoch validation pass (paper's 65,536-sample split)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import frontier
+from repro.dl import Dataset, TrainingConfig, TrainingJob
+from repro.dl.dataset import combine_datasets
+from repro.dl.fastsim import FluidTrainingModel
+
+TRAIN = Dataset(name="tr", n_samples=192, sample_bytes=2.0e6)
+VAL = Dataset(name="va", n_samples=64, sample_bytes=2.0e6)
+
+
+def quiet_cc(n=8):
+    cc = frontier(n)
+    return replace(cc, pfs=replace(cc.pfs, service_noise_sigma=0.0))
+
+
+class TestCombineDatasets:
+    def test_id_space_layout(self):
+        combined = combine_datasets(TRAIN, VAL)
+        assert combined.n_samples == 256
+        assert combined.file_size(0) == TRAIN.file_size(0)
+        assert combined.file_size(192) == VAL.file_size(0)
+        assert combined.total_bytes == TRAIN.total_bytes + VAL.total_bytes
+
+    def test_heterogeneous_sizes_preserved(self):
+        import numpy as np
+
+        t = Dataset(name="t", n_samples=2, sample_bytes=np.array([10.0, 20.0]))
+        v = Dataset(name="v", n_samples=1, sample_bytes=np.array([99.0]))
+        c = combine_datasets(t, v)
+        assert [c.file_size(i) for i in range(3)] == [10.0, 20.0, 99.0]
+
+
+class TestDesValidation:
+    def test_validation_adds_time_and_caches_split(self):
+        cfg = TrainingConfig(epochs=2, batch_size=8)
+        plain = TrainingJob(Cluster(quiet_cc(), seed=1), TRAIN, "FT w/ NVMe", cfg).run()
+        job = TrainingJob(
+            Cluster(quiet_cc(), seed=1), TRAIN, "FT w/ NVMe", cfg, val_dataset=VAL
+        )
+        with_val = job.run()
+        assert with_val.total_time > plain.total_time
+        assert with_val.metrics.get("job.validation_passes") == 2
+        cached = sum(len(s.store) for s in job.servers)
+        assert cached == TRAIN.n_samples + VAL.n_samples
+
+    def test_training_shuffle_not_affected_by_val(self):
+        cfg = TrainingConfig(epochs=1, batch_size=8)
+        a = TrainingJob(Cluster(quiet_cc(), seed=1), TRAIN, "FT w/ NVMe", cfg)
+        b = TrainingJob(
+            Cluster(quiet_cc(), seed=1), TRAIN, "FT w/ NVMe", cfg, val_dataset=VAL
+        )
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            a.sampler.epoch_permutation(0), b.sampler.epoch_permutation(0)
+        )
+        # And the training permutation never touches validation ids.
+        assert b.sampler.epoch_permutation(0).max() < TRAIN.n_samples
+
+    def test_survives_failure_with_validation(self):
+        from repro.cluster.slurm import SlurmController
+        from repro.failures import FailureInjector
+
+        cluster = Cluster(quiet_cc(), seed=3)
+        cfg = TrainingConfig(epochs=3, batch_size=8, ttl=0.4, timeout_threshold=2)
+        job = TrainingJob(cluster, TRAIN, "FT w/ NVMe", cfg, val_dataset=VAL)
+        FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 1)
+        res = job.run()
+        assert res.completed and res.failures == 1
+        assert res.metrics.get("job.validation_passes") == 3
+
+
+class TestFluidValidation:
+    def test_validation_adds_time(self):
+        cfg = TrainingConfig(epochs=2, batch_size=8)
+        plain = FluidTrainingModel(quiet_cc(), TRAIN, "FT w/ NVMe", cfg, 0, seed=1).run()
+        with_val = FluidTrainingModel(
+            quiet_cc(), TRAIN, "FT w/ NVMe", cfg, 0, seed=1, val_dataset=VAL
+        ).run()
+        assert with_val.total_time > plain.total_time
+        assert with_val.pfs_files == TRAIN.n_samples + VAL.n_samples
+
+    def test_des_fluid_agree_with_validation(self):
+        cc = quiet_cc()
+        cfg = TrainingConfig(epochs=2, batch_size=8)
+        des = TrainingJob(Cluster(cc, seed=5), TRAIN, "FT w/ NVMe", cfg, val_dataset=VAL).run()
+        fluid = FluidTrainingModel(
+            cc, TRAIN, "FT w/ NVMe", cfg, 0, seed=5, val_dataset=VAL
+        ).run()
+        assert fluid.total_time == pytest.approx(des.total_time, rel=0.15)
+
+    def test_failure_with_validation_completes(self):
+        res = FluidTrainingModel(
+            quiet_cc(), TRAIN, "FT w/ NVMe", TrainingConfig(epochs=3, batch_size=8), 1,
+            seed=2, val_dataset=VAL
+        ).run()
+        assert res.completed and res.failures == 1

@@ -1,0 +1,102 @@
+"""Tests for cache pre-staging (warmup) and correlated failure bursts."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import frontier
+from repro.cluster.slurm import SlurmController
+from repro.dl import Dataset, ElasticConfig, TrainingConfig, TrainingJob
+from repro.dl.fastsim import FluidTrainingModel
+from repro.failures import FailureInjector
+
+DS = Dataset(name="t", n_samples=256, sample_bytes=2.0e6)
+
+
+def quiet_cc(n=8):
+    cc = frontier(n)
+    return replace(cc, pfs=replace(cc.pfs, service_noise_sigma=0.0))
+
+
+def cfg(**over):
+    base = dict(
+        epochs=3,
+        batch_size=8,
+        ttl=0.4,
+        timeout_threshold=2,
+        elastic=ElasticConfig(detect_time=0.5, restart_overhead=1.0, restart_per_log2_node=0.0),
+    )
+    base.update(over)
+    return TrainingConfig(**base)
+
+
+class TestWarmup:
+    def test_des_first_epoch_runs_warm(self):
+        plain = TrainingJob(Cluster(quiet_cc(), seed=1), DS, "FT w/ NVMe", cfg()).run()
+        warm = TrainingJob(Cluster(quiet_cc(), seed=1), DS, "FT w/ NVMe", cfg(warmup=True)).run()
+        assert warm.epoch_times[0] < plain.epoch_times[0]
+        assert warm.epoch_times[0] == pytest.approx(warm.epoch_times[1], rel=0.05)
+
+    def test_des_warmup_populates_all_servers(self):
+        cluster = Cluster(quiet_cc(), seed=1)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg(warmup=True))
+        job.run()
+        cached = sum(len(s.store) for s in job.servers)
+        assert cached == DS.n_samples
+        assert job.metrics.get("warmup.bytes") == pytest.approx(DS.total_bytes)
+
+    def test_fluid_warmup_matches_semantics(self):
+        res = FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(warmup=True), 0, seed=1).run()
+        assert res.warmup_time > 0
+        # Epoch 0 is warm: same cost as epoch 1.
+        assert res.epoch_times[0] == pytest.approx(res.epoch_times[1], rel=0.05)
+        # The PFS still transferred the whole dataset exactly once.
+        assert res.pfs_bytes == pytest.approx(DS.total_bytes)
+
+    def test_warmup_with_failures_still_completes(self):
+        cluster = Cluster(quiet_cc(), seed=2)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg(warmup=True))
+        FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 1)
+        res = job.run()
+        assert res.completed and res.failures == 1
+
+
+class TestBurstInjection:
+    def test_burst_kills_requested_count(self):
+        cluster = Cluster(quiet_cc(), seed=3)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg())
+        inj = FailureInjector(SlurmController(cluster))
+        inj.inject_burst(job, size=3, epoch=1)
+        res = job.run()
+        assert res.completed
+        assert len(inj.injected) == 3
+        times = [t for t, _ in inj.injected]
+        assert max(times) - min(times) < 1e-9  # simultaneous
+        assert res.n_nodes_end == res.n_nodes_start - 3
+
+    def test_burst_all_failures_counted(self):
+        cluster = Cluster(quiet_cc(), seed=3)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg())
+        FailureInjector(SlurmController(cluster)).inject_burst(job, size=2, epoch=1)
+        res = job.run()
+        assert res.failures == 2
+
+    def test_burst_validation(self):
+        cluster = Cluster(quiet_cc(), seed=3)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg())
+        inj = FailureInjector(SlurmController(cluster))
+        with pytest.raises(ValueError):
+            inj.inject_burst(job, size=0)
+        with pytest.raises(ValueError):
+            inj.inject_burst(job, size=1, epoch=0)
+        with pytest.raises(ValueError):
+            inj.inject_burst(job, size=1, fraction=1.0)
+
+    def test_burst_never_kills_last_node(self):
+        cluster = Cluster(quiet_cc(2), seed=3)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg())
+        FailureInjector(SlurmController(cluster)).inject_burst(job, size=5, epoch=1)
+        res = job.run()
+        assert res.completed
+        assert len(cluster.alive_nodes) >= 1

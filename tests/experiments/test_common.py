@@ -1,0 +1,39 @@
+"""Tests for the experiment-scale presets."""
+
+import pytest
+
+from repro.dl import TrainingConfig
+from repro.experiments import PAPER_FAILURES, PAPER_NODE_COUNTS, ExperimentScale
+
+
+class TestPresets:
+    def test_paper_matches_published_parameters(self):
+        p = ExperimentScale.paper()
+        assert p.dataset_scale == 1.0
+        assert p.node_counts == PAPER_NODE_COUNTS == (64, 128, 256, 512, 1024)
+        assert p.n_failures == PAPER_FAILURES == 5
+        assert p.epochs == 5  # "We ran 5 epochs per experiment"
+        assert p.repeats == 3  # "all experiments were repeated three times"
+        assert p.fig6b_trials == 500  # "conducted 500 times"
+        assert p.fig6b_nodes == 1024
+        assert 100 in p.fig6b_vnode_counts and 1000 in p.fig6b_vnode_counts
+
+    def test_quick_is_smaller_than_paper(self):
+        q, p = ExperimentScale.quick(), ExperimentScale.paper()
+        assert q.dataset_scale < p.dataset_scale
+        assert len(q.node_counts) < len(p.node_counts)
+        assert q.fig6b_trials < p.fig6b_trials
+
+    def test_smoke_is_smallest(self):
+        s, q = ExperimentScale.smoke(), ExperimentScale.quick()
+        assert s.dataset_scale < q.dataset_scale
+        assert max(s.node_counts) <= max(q.node_counts)
+
+    def test_training_config_passthrough_and_override(self):
+        scale = ExperimentScale.paper()
+        cfg = scale.training_config()
+        assert isinstance(cfg, TrainingConfig)
+        assert cfg.epochs == 5 and cfg.batch_size == 8 and cfg.seed == scale.seed
+        cfg2 = scale.training_config(recovery="epoch", ttl=2.0)
+        assert cfg2.recovery == "epoch" and cfg2.ttl == 2.0
+        assert cfg2.epochs == 5  # base fields still applied

@@ -1,0 +1,88 @@
+"""Tests for the qualitative experiments: Table II, Fig 3, Fig 4."""
+
+from repro.experiments import (
+    format_fig3,
+    format_fig4,
+    format_table2,
+    run_fig3,
+    run_fig4,
+    run_table2,
+)
+
+
+class TestTable2:
+    def test_covers_paper_attributes(self):
+        rows = run_table2()
+        attrs = {r.attribute for r in rows}
+        assert {"CPU", "GPU", "Node-local storage", "Interconnect"} <= attrs
+
+    def test_format(self):
+        text = format_table2(run_table2())
+        assert "Table II" in text
+        assert "PM9A3" in text and "Slingshot" in text
+
+
+class TestFig3:
+    def test_both_sequences_recorded(self):
+        r = run_fig3(seed=1)
+        assert r.pfs_redirect and r.elastic_recache
+
+    def test_causal_order(self):
+        r = run_fig3(seed=1)
+        for seq in (r.pfs_redirect, r.elastic_recache):
+            times = [e.t for e in seq]
+            assert times == sorted(times)
+            steps = [e.step for e in seq]
+            # intercept precedes timeout precedes the recovery action.
+            assert steps.index("intercept") < steps.index("timeout")
+            assert "failure" in steps and "return" in steps
+
+    def test_recovery_actions_differ_by_policy(self):
+        r = run_fig3(seed=1)
+        assert any(e.step == "redirect" for e in r.pfs_redirect)
+        assert not any(e.step == "re-ring" for e in r.pfs_redirect)
+        assert any(e.step == "re-ring" for e in r.elastic_recache)
+        assert any(e.step == "recache" for e in r.elastic_recache)
+
+    def test_detection_precedes_recovery(self):
+        r = run_fig3(seed=1)
+        for seq, action in ((r.pfs_redirect, "redirect"), (r.elastic_recache, "re-ring")):
+            steps = [e.step for e in seq]
+            assert steps.index("detect") < steps.index(action)
+
+    def test_format(self):
+        text = format_fig3(run_fig3(seed=1))
+        assert "PFS redirection" in text and "Elastic recaching" in text
+        assert "LD_PRELOAD" in text
+
+
+class TestFig4:
+    def test_minimal_movement_holds(self):
+        r = run_fig4()
+        assert r.minimal_movement()
+        assert r.moved_files  # the victim owned something
+
+    def test_positions_in_unit_interval(self):
+        r = run_fig4()
+        assert all(0.0 <= f.position < 1.0 for f in r.files)
+        positions = [f.position for f in r.files]
+        assert positions == sorted(positions)
+
+    def test_survivor_files_unmoved(self):
+        r = run_fig4()
+        for f in r.files:
+            if f.owner_before != r.victim:
+                assert not f.moved
+
+    def test_no_file_lands_on_victim(self):
+        r = run_fig4()
+        assert all(f.owner_after != r.victim for f in r.files)
+
+    def test_custom_sizes(self):
+        r = run_fig4(n_nodes=6, vnodes_per_node=20, n_files=12)
+        assert r.n_nodes == 6 and len(r.files) == 12
+        assert r.minimal_movement()
+
+    def test_format(self):
+        text = format_fig4(run_fig4())
+        assert "Fig 4" in text and "reassigned" in text and "├ 1" in text

@@ -1,0 +1,73 @@
+"""Tests for JSON export of experiment results."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, run_fig6b, run_table1
+from repro.experiments.export import export_results, jsonable, load_results
+
+
+class TestJsonable:
+    def test_primitives_pass_through(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert jsonable(v) == v
+
+    def test_numpy_scalars_and_arrays(self):
+        assert jsonable(np.int64(7)) == 7
+        assert jsonable(np.float32(1.5)) == pytest.approx(1.5)
+        assert jsonable(np.array([1, 2, 3])) == [1, 2, 3]
+
+    def test_dataclass_nested(self):
+        @dataclasses.dataclass(frozen=True)
+        class Inner:
+            x: int
+
+        @dataclasses.dataclass
+        class Outer:
+            name: str
+            inner: Inner
+            values: np.ndarray
+
+        out = jsonable(Outer(name="o", inner=Inner(x=1), values=np.arange(2)))
+        assert out == {"name": "o", "inner": {"x": 1}, "values": [0, 1]}
+
+    def test_non_string_dict_keys(self):
+        assert jsonable({64: "a", (1, 2): "b"}) == {"64": "a", "(1, 2)": "b"}
+
+    def test_sets_and_tuples(self):
+        assert sorted(jsonable({3, 1})) == [1, 3]
+        assert jsonable((1, 2)) == [1, 2]
+
+    def test_exotic_falls_back_to_str(self):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        assert jsonable(Weird()) == "weird"
+
+    def test_real_results_serialise(self):
+        doc = jsonable({"t1": run_table1(seed=1), "f6b": run_fig6b(scale=ExperimentScale.smoke())})
+        json.dumps(doc)  # must not raise
+
+
+class TestExportRoundTrip:
+    def test_export_and_load(self, tmp_path):
+        path = export_results(
+            {"table1": run_table1(seed=1)}, tmp_path / "out.json", seed=1, scale="smoke"
+        )
+        doc = load_results(path)
+        assert doc["meta"]["seed"] == 1 and doc["meta"]["scale"] == "smoke"
+        assert doc["results"]["table1"]["census"]["total_failures"] == 45_556
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_results({}, tmp_path / "a" / "b" / "out.json")
+        assert path.exists()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "foreign.json"
+        p.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_results(p)

@@ -1,0 +1,107 @@
+"""Tests for the Section III job-failure analysis."""
+
+import numpy as np
+import pytest
+
+from repro.failures import (
+    JobState,
+    SlurmLog,
+    combined_node_failure_share,
+    distribution_by_elapsed,
+    distribution_by_nodes,
+    failure_census,
+    generate_frontier_log,
+    weekly_elapsed,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    return generate_frontier_log(seed=2024)
+
+
+class TestCensus:
+    def test_matches_published_table1(self, log):
+        c = failure_census(log)
+        assert c.total_jobs == 181_933
+        assert c.total_failures == 45_556
+        assert c.failure_ratio["NODE_FAIL"] == pytest.approx(2.58, abs=0.01)
+        assert c.failure_ratio["TIMEOUT"] == pytest.approx(44.92, abs=0.01)
+        assert c.failure_ratio["JOB_FAIL"] == pytest.approx(52.50, abs=0.01)
+        assert c.overall_ratio["FAILURES"] == pytest.approx(25.04, abs=0.01)
+
+    def test_combined_node_failure_about_half(self, log):
+        share = combined_node_failure_share(failure_census(log))
+        assert share == pytest.approx(47.5, abs=0.2)
+
+    def test_empty_log_census(self):
+        empty = SlurmLog(
+            state=np.zeros(0, dtype=np.int8),
+            n_nodes=np.zeros(0, dtype=np.int32),
+            elapsed_min=np.zeros(0),
+            week=np.zeros(0, dtype=np.int16),
+        )
+        c = failure_census(empty)
+        assert c.total_failures == 0
+        assert combined_node_failure_share(c) == 0.0
+        assert c.failure_ratio["NODE_FAIL"] == 0.0
+
+
+class TestWeekly:
+    def test_covers_all_weeks(self, log):
+        w = weekly_elapsed(log)
+        assert len(w.weeks) == 27
+        for series in w.by_type.values():
+            assert len(series) == 27
+
+    def test_overall_near_published_mean(self, log):
+        w = weekly_elapsed(log)
+        assert 60 < w.overall < 95  # "an average of 75 minutes"
+
+    def test_hardware_failures_spike_somewhere(self, log):
+        w = weekly_elapsed(log)
+        hw_max = np.nanmax(np.vstack([w.by_type["NODE_FAIL"], w.by_type["TIMEOUT"]]))
+        assert hw_max > 120  # 2h+ weeks exist (Fig 1)
+
+    def test_every_week_has_failures(self, log):
+        w = weekly_elapsed(log)
+        jf = w.by_type["JOB_FAIL"]
+        assert not np.isnan(jf).any()
+
+
+class TestDistributionByNodes:
+    def test_shares_sum_to_100_in_populated_buckets(self, log):
+        for b in distribution_by_nodes(log):
+            if b.n_failures:
+                assert sum(b.share.values()) == pytest.approx(100.0)
+
+    def test_node_fail_share_rises_with_size(self, log):
+        buckets = [b for b in distribution_by_nodes(log) if b.n_failures >= 50]
+        shares = [b.share["NODE_FAIL"] for b in buckets]
+        slope = np.polyfit(np.arange(len(shares)), shares, 1)[0]
+        assert slope > 0  # Fig 2a trend
+
+    def test_top_bucket_matches_paper_ballpark(self, log):
+        buckets = [b for b in distribution_by_nodes(log) if b.n_failures > 0]
+        top = buckets[-1]
+        # Paper: NODE_FAIL 46.04%, NODE_FAIL+TIMEOUT 78.60% in 7750-9300.
+        assert top.share["NODE_FAIL"] > 30
+        assert top.node_fail_plus_timeout > 62
+
+    def test_bucket_labels(self, log):
+        b0 = distribution_by_nodes(log)[0]
+        assert b0.label == "1-1550"
+
+
+class TestDistributionByElapsed:
+    def test_mix_roughly_flat(self, log):
+        populated = [b for b in distribution_by_elapsed(log) if b.n_failures >= 1000]
+        for t in ("JOB_FAIL", "TIMEOUT"):
+            vals = [b.share[t] for b in populated]
+            assert max(vals) - min(vals) < 15  # Fig 2b: no strong dependence
+
+    def test_custom_edges(self, log):
+        buckets = distribution_by_elapsed(log, edges_min=[0, 60, float("inf")])
+        assert len(buckets) == 2
+        assert buckets[1].label == ">60 min"
+        assert sum(b.n_failures for b in buckets) == failure_census(log).total_failures

@@ -1,0 +1,62 @@
+"""Tests for SlurmLog CSV interchange."""
+
+import numpy as np
+import pytest
+
+from repro.failures import FrontierLogModel, SlurmLog, generate_frontier_log
+
+
+@pytest.fixture
+def small_log():
+    model = FrontierLogModel(total_jobs=300, job_fail=40, timeout=30, node_fail=5, cancelled=25)
+    return generate_frontier_log(seed=9, model=model)
+
+
+class TestCsvRoundTrip:
+    def test_lossless(self, small_log, tmp_path):
+        p = tmp_path / "log.csv"
+        small_log.to_csv(p)
+        back = SlurmLog.from_csv(p)
+        np.testing.assert_array_equal(small_log.state, back.state)
+        np.testing.assert_array_equal(small_log.n_nodes, back.n_nodes)
+        np.testing.assert_array_equal(small_log.week, back.week)
+        np.testing.assert_allclose(small_log.elapsed_min, back.elapsed_min, atol=1e-3)
+
+    def test_analysis_identical_after_round_trip(self, small_log, tmp_path):
+        from repro.failures import failure_census
+
+        p = tmp_path / "log.csv"
+        small_log.to_csv(p)
+        back = SlurmLog.from_csv(p)
+        assert failure_census(back) == failure_census(small_log)
+
+    def test_header_written(self, small_log, tmp_path):
+        p = tmp_path / "log.csv"
+        small_log.to_csv(p)
+        assert p.read_text().splitlines()[0] == "state,n_nodes,elapsed_min,week"
+
+
+class TestCsvValidation:
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("wrong,header\n")
+        with pytest.raises(ValueError, match="header"):
+            SlurmLog.from_csv(p)
+
+    def test_bad_field_count(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("state,n_nodes,elapsed_min,week\nCOMPLETED,1,2.0\n")
+        with pytest.raises(ValueError, match="4 fields"):
+            SlurmLog.from_csv(p)
+
+    def test_unknown_state(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("state,n_nodes,elapsed_min,week\nEXPLODED,1,2.0,0\n")
+        with pytest.raises(ValueError, match="unknown state"):
+            SlurmLog.from_csv(p)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "ok.csv"
+        p.write_text("state,n_nodes,elapsed_min,week\nCOMPLETED,4,12.5,3\n\n")
+        log = SlurmLog.from_csv(p)
+        assert len(log) == 1 and log.n_nodes[0] == 4

@@ -1,0 +1,82 @@
+"""Tests for the runtime failure injector (DES side)."""
+
+import pytest
+
+from repro.cluster import Cluster, SlurmController
+from repro.dl import Dataset, ElasticConfig, TrainingConfig, TrainingJob
+from repro.failures import FailureInjector
+
+DS = Dataset(name="toy", n_samples=128, sample_bytes=1.0e6)
+CFG = TrainingConfig(
+    epochs=3,
+    batch_size=8,
+    ttl=0.3,
+    timeout_threshold=2,
+    elastic=ElasticConfig(detect_time=0.5, restart_overhead=1.0, restart_per_log2_node=0.0),
+)
+
+
+def build(seed=3, n=6):
+    cluster = Cluster.frontier(n_nodes=n, seed=seed)
+    job = TrainingJob(cluster, DS, "FT w/ NVMe", CFG)
+    return cluster, SlurmController(cluster), job
+
+
+class TestInjectAfterFirstEpoch:
+    def test_failures_land_after_epoch_zero(self):
+        cluster, slurm, job = build()
+        inj = FailureInjector(slurm)
+        inj.inject_after_first_epoch(job, n_failures=2)
+        res = job.run()
+        assert len(inj.injected) == 2
+        epoch0_end = next(r.end for r in res.timeline.epochs if r.epoch == 0)
+        assert all(t > epoch0_end for t, _ in inj.injected)
+
+    def test_distinct_victims(self):
+        cluster, slurm, job = build()
+        inj = FailureInjector(slurm)
+        inj.inject_after_first_epoch(job, n_failures=3)
+        job.run()
+        victims = [v for _, v in inj.injected]
+        assert len(set(victims)) == len(victims)
+
+    def test_never_kills_last_node(self):
+        cluster, slurm, job = build(n=2)
+        inj = FailureInjector(slurm)
+        inj.inject_after_first_epoch(job, n_failures=2)
+        job.run()
+        assert len(cluster.alive_nodes) >= 1
+
+    def test_invalid_count(self):
+        _, slurm, job = build()
+        inj = FailureInjector(slurm)
+        with pytest.raises(ValueError):
+            inj.inject_after_first_epoch(job, n_failures=0)
+
+    def test_reproducible_given_seed(self):
+        def victims(seed):
+            cluster, slurm, job = build(seed=seed)
+            inj = FailureInjector(slurm)
+            inj.inject_after_first_epoch(job, n_failures=2)
+            job.run()
+            return [v for _, v in inj.injected]
+
+        assert victims(11) == victims(11)
+
+
+class TestInjectInEpoch:
+    def test_victim_epoch_is_requested_one(self):
+        cluster, slurm, job = build()
+        inj = FailureInjector(slurm)
+        inj.inject_in_epoch(job, epoch=1, fraction=0.5)
+        res = job.run()
+        assert len(inj.injected) == 1
+        assert res.timeline.failures[0].epoch == 1
+
+    def test_validation(self):
+        _, slurm, job = build()
+        inj = FailureInjector(slurm)
+        with pytest.raises(ValueError):
+            inj.inject_in_epoch(job, epoch=0)
+        with pytest.raises(ValueError):
+            inj.inject_in_epoch(job, epoch=1, fraction=1.5)

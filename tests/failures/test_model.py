@@ -1,0 +1,83 @@
+"""Tests for the exponential reliability model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures import ReliabilityModel, fit_from_log, generate_frontier_log
+
+
+class TestReliabilityModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityModel(node_mtbf_min=0)
+        m = ReliabilityModel(node_mtbf_min=1000.0)
+        with pytest.raises(ValueError):
+            m.failure_rate(0)
+        with pytest.raises(ValueError):
+            m.p_failure(4, -1.0)
+
+    def test_p_failure_basics(self):
+        m = ReliabilityModel(node_mtbf_min=1000.0)
+        assert m.p_failure(1, 0.0) == 0.0
+        assert m.p_failure(1, 1e9) == pytest.approx(1.0)
+        # one node, one MTBF → 1 - 1/e
+        assert m.p_failure(1, 1000.0) == pytest.approx(1 - np.exp(-1))
+
+    def test_more_nodes_more_risk(self):
+        m = ReliabilityModel(node_mtbf_min=10_000.0)
+        probs = [m.p_failure(n, 120.0) for n in (64, 256, 1024)]
+        assert probs == sorted(probs)
+        assert probs[-1] > probs[0]
+
+    def test_expected_failures_linear(self):
+        m = ReliabilityModel(node_mtbf_min=1000.0)
+        assert m.expected_failures(10, 50.0) == pytest.approx(0.5)
+        assert m.expected_failures(20, 50.0) == pytest.approx(1.0)
+
+    def test_mean_time_to_first_failure(self):
+        m = ReliabilityModel(node_mtbf_min=1000.0)
+        assert m.mean_time_to_first_failure(10) == pytest.approx(100.0)
+
+    def test_ft_always_beats_restart_from_scratch(self):
+        m = ReliabilityModel(node_mtbf_min=5000.0)
+        ft = m.expected_completion_time(512, 300.0, restart_cost_min=5.0, fault_tolerant=True)
+        noft = m.expected_completion_time(512, 300.0, restart_cost_min=5.0, fault_tolerant=False)
+        assert ft < noft
+
+    def test_noft_explodes_for_long_jobs(self):
+        m = ReliabilityModel(node_mtbf_min=100.0)
+        assert m.expected_completion_time(1000, 10_000.0, 1.0, fault_tolerant=False) == float("inf")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mtbf=st.floats(min_value=100.0, max_value=1e7),
+        n=st.integers(min_value=1, max_value=4096),
+        t=st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_probability_bounds_property(self, mtbf, n, t):
+        p = ReliabilityModel(mtbf).p_failure(n, t)
+        assert 0.0 <= p <= 1.0
+
+
+class TestFitFromLog:
+    def test_fit_round_numbers(self):
+        log = generate_frontier_log(seed=1)
+        m = fit_from_log(log)
+        # 1,174 node failures over 27 weeks on 9,408 nodes → MTBF ≈ 4.2 years.
+        expected = 9408 * 27 * 7 * 24 * 60 / 1174
+        assert m.node_mtbf_min == pytest.approx(expected)
+
+    def test_validation(self):
+        log = generate_frontier_log(seed=1)
+        with pytest.raises(ValueError):
+            fit_from_log(log, total_nodes=0)
+        with pytest.raises(ValueError):
+            fit_from_log(log, weeks=0)
+
+    def test_frontier_scale_risk_is_material(self):
+        # The Section III takeaway: at full-machine scale over a long job,
+        # failure probability is no longer negligible.
+        m = fit_from_log(generate_frontier_log(seed=1))
+        assert m.p_failure(9408, 24 * 60) > 0.3

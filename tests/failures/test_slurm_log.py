@@ -1,0 +1,92 @@
+"""Tests for the synthetic Frontier SLURM log generator."""
+
+import numpy as np
+import pytest
+
+from repro.failures import FrontierLogModel, JobState, SlurmLog, generate_frontier_log
+
+
+class TestGeneration:
+    def test_exact_table1_counts(self):
+        log = generate_frontier_log(seed=1)
+        m = FrontierLogModel()
+        assert len(log) == m.total_jobs
+        assert log.count(JobState.NODE_FAIL) == m.node_fail
+        assert log.count(JobState.TIMEOUT) == m.timeout
+        assert log.count(JobState.JOB_FAIL) == m.job_fail
+        assert log.count(JobState.CANCELLED) == m.cancelled
+
+    def test_reproducible(self):
+        a = generate_frontier_log(seed=7)
+        b = generate_frontier_log(seed=7)
+        np.testing.assert_array_equal(a.state, b.state)
+        np.testing.assert_array_equal(a.n_nodes, b.n_nodes)
+        np.testing.assert_array_equal(a.elapsed_min, b.elapsed_min)
+
+    def test_seed_sensitivity(self):
+        a = generate_frontier_log(seed=1)
+        b = generate_frontier_log(seed=2)
+        assert not np.array_equal(a.elapsed_min, b.elapsed_min)
+
+    def test_custom_model(self):
+        m = FrontierLogModel(total_jobs=1000, job_fail=100, timeout=50, node_fail=10, cancelled=40)
+        log = generate_frontier_log(seed=0, model=m)
+        assert len(log) == 1000
+        assert log.count(JobState.COMPLETED) == 800
+
+    def test_invalid_model_rejected(self):
+        m = FrontierLogModel(total_jobs=10, job_fail=100, timeout=0, node_fail=0, cancelled=0)
+        with pytest.raises(ValueError):
+            generate_frontier_log(model=m)
+
+    def test_node_counts_in_range(self):
+        log = generate_frontier_log(seed=1)
+        assert log.n_nodes.min() >= 1
+        assert log.n_nodes.max() <= 9300
+
+    def test_weeks_cover_27(self):
+        log = generate_frontier_log(seed=1)
+        assert set(np.unique(log.week)) == set(range(27))
+
+    def test_elapsed_positive(self):
+        log = generate_frontier_log(seed=1)
+        assert (log.elapsed_min > 0).all()
+
+    def test_rows_shuffled_not_state_sorted(self):
+        log = generate_frontier_log(seed=1)
+        # If sorted by state the first 100k rows would all be one value.
+        assert len(np.unique(log.state[:1000])) > 1
+
+    def test_mean_failure_elapsed_near_75(self):
+        log = generate_frontier_log(seed=1)
+        mean = log.elapsed_min[log.failures_mask].mean()
+        assert 60 < mean < 95
+
+
+class TestSlurmLogContainer:
+    def test_column_length_validation(self):
+        with pytest.raises(ValueError):
+            SlurmLog(
+                state=np.zeros(3, dtype=np.int8),
+                n_nodes=np.ones(2, dtype=np.int32),
+                elapsed_min=np.ones(3),
+                week=np.zeros(3, dtype=np.int16),
+            )
+
+    def test_failures_mask(self):
+        log = SlurmLog(
+            state=np.array([0, 1, 2, 3, 4], dtype=np.int8),
+            n_nodes=np.ones(5, dtype=np.int32),
+            elapsed_min=np.ones(5),
+            week=np.zeros(5, dtype=np.int16),
+        )
+        np.testing.assert_array_equal(log.failures_mask, [False, True, True, True, False])
+
+    def test_node_bucket_edges(self):
+        log = SlurmLog(
+            state=np.zeros(4, dtype=np.int8),
+            n_nodes=np.array([1, 1550, 1551, 9300], dtype=np.int32),
+            elapsed_min=np.ones(4),
+            week=np.zeros(4, dtype=np.int16),
+        )
+        np.testing.assert_array_equal(log.node_bucket(), [0, 0, 1, 5])

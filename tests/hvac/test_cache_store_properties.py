@@ -1,0 +1,94 @@
+"""Model-based test: CacheStore against a reference LRU implementation."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NVMeConfig
+from repro.cluster.nvme import NVMeDevice
+from repro.hvac.cache_store import CacheStore
+from repro.sim import Environment
+
+
+class ReferenceLRU:
+    """Textbook LRU with byte capacity, for differential testing."""
+
+    def __init__(self, capacity: float):
+        self.capacity = capacity
+        self.entries: "OrderedDict[int, float]" = OrderedDict()
+
+    def used(self) -> float:
+        return sum(self.entries.values())
+
+    def touch(self, fid: int) -> None:
+        self.entries.move_to_end(fid)
+
+    def put(self, fid: int, nbytes: float) -> None:
+        if fid in self.entries:
+            self.entries.move_to_end(fid)
+            return
+        while self.used() + nbytes > self.capacity and self.entries:
+            self.entries.popitem(last=False)
+        if nbytes <= self.capacity:
+            self.entries[fid] = nbytes
+
+    def drop(self, fid: int) -> None:
+        self.entries.pop(fid, None)
+
+
+# Operations: (op, fid) with op in put/touch/drop/check
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "touch", "drop", "contains"]),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=80,
+)
+
+
+class TestCacheStoreMatchesReference:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_ops, capacity_units=st.integers(min_value=1, max_value=10))
+    def test_differential(self, ops, capacity_units):
+        entry = 100.0
+        capacity = capacity_units * entry
+        env = Environment()
+        store = CacheStore(NVMeDevice(env, NVMeConfig(capacity=capacity, read_bw=1, write_bw=1)))
+        ref = ReferenceLRU(capacity)
+        for op, fid in ops:
+            if op == "put":
+                store.put(fid, entry)
+                ref.put(fid, entry)
+            elif op == "touch":
+                if fid in ref.entries:
+                    assert fid in store
+                    store.touch(fid)
+                    ref.touch(fid)
+            elif op == "drop":
+                store.drop(fid)
+                ref.drop(fid)
+            else:  # contains
+                assert (fid in store) == (fid in ref.entries)
+            # Invariants after every operation:
+            assert set(store.file_ids) == set(ref.entries)
+            assert store.cached_bytes == ref.used()
+            assert store.cached_bytes <= capacity
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        fids=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    )
+    def test_eviction_order_is_lru(self, fids):
+        # Capacity for exactly 3 entries: after any sequence of puts, the
+        # survivors are the 3 most-recently-put distinct fids.
+        env = Environment()
+        store = CacheStore(NVMeDevice(env, NVMeConfig(capacity=300.0, read_bw=1, write_bw=1)))
+        recency: list[int] = []
+        for fid in fids:
+            store.put(fid, 100.0)
+            if fid in recency:
+                recency.remove(fid)
+            recency.append(fid)
+        expected = recency[-3:]
+        assert set(store.file_ids) == set(expected)

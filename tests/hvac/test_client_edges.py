@@ -1,0 +1,65 @@
+"""Edge-case tests for the HVAC client's safety valves."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import MiB
+from repro.core import StaticHash, Target
+from repro.core.fault_policy import FaultPolicy
+from repro.hvac import HvacClient, HvacServer, RoutingLoopError, RpcFabric
+from tests.conftest import run_proc
+
+
+class _StubbornPolicy(FaultPolicy):
+    """Pathological policy: keeps routing to a dead node forever."""
+
+    name = "stubborn"
+
+    def __init__(self, placement, dead_node):
+        super().__init__(placement)
+        self.dead_node = dead_node
+
+    def target_for(self, key):
+        return Target.to_node(self.dead_node)
+
+    def on_node_failed(self, node):
+        pass  # refuses to learn
+
+
+class TestRoutingLoopSafetyValve:
+    def test_non_converging_policy_raises_instead_of_hanging(self):
+        cluster = Cluster.frontier(n_nodes=3, seed=1)
+        fabric = RpcFabric(cluster)
+        for i in range(3):
+            HvacServer(cluster, i, fabric).start()
+        cluster.fail_node(2)
+        policy = _StubbornPolicy(StaticHash(nodes=range(3)), dead_node=2)
+        client = HvacClient(cluster, 0, policy, fabric, ttl=0.05, timeout_threshold=2)
+
+        def proc():
+            try:
+                yield from client.read_files([(0, 1 * MiB)])
+            except RoutingLoopError as exc:
+                return ("loop-detected", str(exc))
+
+        result = run_proc(cluster.env, proc())
+        assert result[0] == "loop-detected"
+        assert "unserved" in result[1]
+
+    def test_empty_batch_is_a_noop(self):
+        cluster = Cluster.frontier(n_nodes=2, seed=1)
+        fabric = RpcFabric(cluster)
+        HvacServer(cluster, 0, fabric).start()
+        HvacServer(cluster, 1, fabric).start()
+        from repro.core import ElasticRecache, HashRing
+
+        client = HvacClient(
+            cluster, 0, ElasticRecache(HashRing(nodes=range(2))), fabric, ttl=0.5
+        )
+
+        def proc():
+            t0 = cluster.env.now
+            yield from client.read_files([])
+            return cluster.env.now - t0
+
+        assert run_proc(cluster.env, proc()) == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the RPC fabric and the per-server cache store."""
+
+import pytest
+
+from repro.cluster import Cluster, NVMeConfig
+from repro.cluster.nvme import NVMeDevice, NVMeFullError
+from repro.hvac import HvacServer, ReadRequest, RpcFabric
+from repro.hvac.cache_store import CacheStore
+from repro.sim import Environment
+from tests.conftest import run_proc
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.frontier(n_nodes=3, seed=2)
+
+
+class TestRpcFabric:
+    def test_call_round_trip(self, cluster):
+        fabric = RpcFabric(cluster)
+        HvacServer(cluster, 1, fabric).start()
+
+        def proc():
+            result = yield from fabric.call(0, 1, ReadRequest(files=((7, 1024.0),)), ttl=5.0)
+            return result
+
+        result = run_proc(cluster.env, proc())
+        assert result.ok and not result.timed_out
+        assert result.value.served_bytes == 1024.0
+
+    def test_timeout_on_dead_node(self, cluster):
+        fabric = RpcFabric(cluster)
+        HvacServer(cluster, 1, fabric).start()
+        cluster.fail_node(1)
+
+        def proc():
+            result = yield from fabric.call(0, 1, ReadRequest(files=((7, 10.0),)), ttl=0.5)
+            return (result, cluster.env.now)
+
+        result, t = run_proc(cluster.env, proc())
+        assert result.timed_out and not result.ok
+        assert t >= 0.5
+        assert fabric.timeouts == 1
+
+    def test_timeout_when_no_server_registered(self, cluster):
+        fabric = RpcFabric(cluster)
+
+        def proc():
+            result = yield from fabric.call(0, 2, ReadRequest(files=()), ttl=0.2)
+            return result
+
+        assert run_proc(cluster.env, proc()).timed_out
+
+    def test_invalid_ttl(self, cluster):
+        fabric = RpcFabric(cluster)
+        with pytest.raises(ValueError):
+            list(fabric.call(0, 1, None, ttl=0))
+
+    def test_call_counter(self, cluster):
+        fabric = RpcFabric(cluster)
+        HvacServer(cluster, 0, fabric).start()
+
+        def proc():
+            yield from fabric.call(1, 0, ReadRequest(files=((1, 8.0),)), ttl=5.0)
+            yield from fabric.call(1, 0, ReadRequest(files=((2, 8.0),)), ttl=5.0)
+
+        run_proc(cluster.env, proc())
+        assert fabric.calls == 2
+
+
+class TestCacheStore:
+    def _store(self, capacity=1000.0):
+        env = Environment()
+        nvme = NVMeDevice(env, NVMeConfig(capacity=capacity, read_bw=1.0, write_bw=1.0))
+        return CacheStore(nvme)
+
+    def test_put_contains_touch(self):
+        store = self._store()
+        store.put(1, 100.0)
+        assert 1 in store and len(store) == 1
+        assert store.touch(1) == 100.0
+        assert store.cached_bytes == 100.0
+
+    def test_put_idempotent(self):
+        store = self._store()
+        store.put(1, 100.0)
+        store.put(1, 100.0)
+        assert len(store) == 1 and store.cached_bytes == 100.0
+        assert store.insertions == 1
+
+    def test_lru_eviction_order(self):
+        store = self._store(capacity=300.0)
+        store.put(1, 100.0)
+        store.put(2, 100.0)
+        store.put(3, 100.0)
+        store.touch(1)  # refresh 1 → LRU order is 2, 3, 1
+        store.put(4, 100.0)
+        assert 2 not in store and 1 in store and 3 in store and 4 in store
+        assert store.evictions == 1
+
+    def test_oversized_entry_raises(self):
+        store = self._store(capacity=50.0)
+        with pytest.raises(NVMeFullError):
+            store.put(1, 100.0)
+
+    def test_drop_releases_capacity(self):
+        store = self._store()
+        store.put(1, 400.0)
+        store.drop(1)
+        assert 1 not in store and store.cached_bytes == 0.0
+        store.drop(99)  # unknown: no-op
+
+    def test_clear(self):
+        store = self._store()
+        for i in range(5):
+            store.put(i, 50.0)
+        store.clear()
+        assert len(store) == 0 and store.cached_bytes == 0.0
+
+    def test_file_ids_listing(self):
+        store = self._store()
+        store.put(3, 10.0)
+        store.put(1, 10.0)
+        assert set(store.file_ids) == {1, 3}

@@ -1,0 +1,253 @@
+"""Integration tests for the simulated HVAC server + client stack."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import MiB
+from repro.core import (
+    ElasticRecache,
+    HashRing,
+    MembershipView,
+    NoFT,
+    PFSRedirect,
+    StaticHash,
+    UnrecoverableNodeFailure,
+)
+from repro.hvac import HvacClient, HvacServer, PosixInterceptor, ReadRequest, RpcFabric
+from tests.conftest import run_proc
+
+
+def build_stack(n=4, policy_cls=ElasticRecache, placement=None, ttl=0.5, threshold=2, seed=1):
+    cluster = Cluster.frontier(n_nodes=n, seed=seed)
+    fabric = RpcFabric(cluster)
+    servers = [HvacServer(cluster, i, fabric) for i in range(n)]
+    for s in servers:
+        s.start()
+    placement = placement if placement is not None else HashRing(nodes=range(n), vnodes_per_node=50)
+    policy = policy_cls(placement)
+    membership = MembershipView(range(n))
+    client = HvacClient(
+        cluster, 0, policy, fabric, membership=membership, ttl=ttl, timeout_threshold=threshold
+    )
+    return cluster, fabric, servers, policy, membership, client
+
+
+FILES = [(i, 2.0 * MiB) for i in range(16)]
+
+
+class TestServer:
+    def test_miss_then_hit(self):
+        cluster, fabric, servers, policy, _, client = build_stack()
+
+        def proc():
+            yield from client.read_files(FILES[:4])
+            t_cold = cluster.env.now
+            yield from client.read_files(FILES[:4])
+            return t_cold, cluster.env.now - t_cold
+
+        t_cold, t_warm = run_proc(cluster.env, proc())
+        assert t_warm < t_cold / 3
+        total_misses = sum(s.metrics.get("server.miss_files") for s in servers)
+        total_hits = sum(s.metrics.get("server.hit_files") for s in servers)
+        assert total_misses == 4 and total_hits == 4
+
+    def test_recache_populates_store(self):
+        cluster, _, servers, policy, _, client = build_stack()
+
+        def proc():
+            yield from client.read_files(FILES)
+
+        run_proc(cluster.env, proc())
+        cached = sum(len(s.store) for s in servers)
+        assert cached == len(FILES)
+        assert cluster.pfs.stats.bytes_read == pytest.approx(sum(nb for _, nb in FILES))
+
+    def test_no_duplicate_pfs_fetch_for_concurrent_misses(self):
+        cluster, fabric, servers, policy, _, _ = build_stack()
+        env = cluster.env
+        owner = policy.target_for(0).node
+
+        def requester():
+            result = yield from fabric.call(1, owner, ReadRequest(files=((0, 1 * MiB),)), ttl=5.0)
+            assert result.ok
+
+        env.process(requester())
+        env.process(requester())
+        env.run()
+        assert servers[owner].metrics.get("server.recache_files") == 1
+
+    def test_preload_skips_pfs(self):
+        cluster, _, servers, policy, _, client = build_stack()
+        for i, s in enumerate(servers):
+            files = [(fid, nb) for fid, nb in FILES if policy.target_for(fid).node == i]
+            s.preload(files)
+
+        def proc():
+            yield from client.read_files(FILES)
+
+        run_proc(cluster.env, proc())
+        assert cluster.pfs.stats.reads == 0
+
+    def test_dead_server_stops_serving(self):
+        cluster, fabric, servers, policy, _, _ = build_stack()
+        cluster.fail_node(2)
+
+        def proc():
+            result = yield from fabric.call(0, 2, ReadRequest(files=((1, 8.0),)), ttl=0.3)
+            return result
+
+        assert run_proc(cluster.env, proc()).timed_out
+
+
+class TestClientFaultHandling:
+    def test_elastic_recache_full_cycle(self):
+        cluster, _, servers, policy, membership, client = build_stack()
+        env = cluster.env
+
+        def proc():
+            yield from client.read_files(FILES)  # cold
+            victim = policy.target_for(0).node
+            cluster.fail_node(victim)
+            yield from client.read_files(FILES)  # detect + reroute + recache
+            yield from client.read_files(FILES)  # all warm again
+            return victim
+
+        victim = run_proc(env, proc())
+        assert victim in policy.failed_nodes
+        assert membership.failed_nodes == (victim,)
+        assert victim not in policy.placement.nodes
+        assert client.metrics.get("client.rpc_timeouts") >= 2
+        assert client.metrics.get("client.failures_declared") == 1
+
+    def test_pfs_redirect_full_cycle(self):
+        cluster, _, servers, policy, membership, client = build_stack(
+            policy_cls=PFSRedirect, placement=StaticHash(nodes=range(4))
+        )
+        env = cluster.env
+
+        def proc():
+            yield from client.read_files(FILES)
+            victim = policy.target_for(0).node
+            cluster.fail_node(victim)
+            yield from client.read_files(FILES)
+            before = client.metrics.get("client.pfs_direct_files")
+            yield from client.read_files(FILES)
+            after = client.metrics.get("client.pfs_direct_files")
+            return victim, before, after
+
+        victim, before, after = run_proc(env, proc())
+        # Redirected keys hit the PFS on *every* subsequent read.
+        assert before > 0 and after > before
+        assert victim in policy.placement.nodes  # placement untouched
+
+    def test_noft_aborts_job(self):
+        cluster, _, _, policy, _, client = build_stack(
+            policy_cls=NoFT, placement=StaticHash(nodes=range(4))
+        )
+        env = cluster.env
+
+        def proc():
+            yield from client.read_files(FILES)
+            victim = policy.target_for(0).node
+            cluster.fail_node(victim)
+            try:
+                yield from client.read_files(FILES)
+            except UnrecoverableNodeFailure as exc:
+                return ("aborted", exc.node)
+
+        result = run_proc(env, proc())
+        assert result[0] == "aborted"
+
+    def test_detection_cost_is_ttl_times_threshold(self):
+        cluster, _, _, policy, _, client = build_stack(ttl=0.5, threshold=3)
+        env = cluster.env
+
+        def proc():
+            yield from client.read_files(FILES)
+            victim = policy.target_for(0).node
+            cluster.fail_node(victim)
+            t0 = env.now
+            yield from client.read_files([f for f in FILES if policy.target_for(f[0]).node == victim][:1])
+            return env.now - t0
+
+        elapsed = run_proc(env, proc())
+        assert elapsed >= 1.5  # 3 timeouts × 0.5 s TTL
+
+    def test_transient_timeout_does_not_declare(self):
+        # threshold=2: a single timeout followed by recovery must not evict.
+        cluster, fabric, servers, policy, membership, client = build_stack(ttl=0.01, threshold=50)
+        env = cluster.env
+
+        def proc():
+            # TTL of 10 ms is below the cold PFS fetch time → timeouts, but
+            # the reads eventually succeed on retry once cached.
+            yield from client.read_files(FILES[:2])
+            return client.metrics.get("client.failures_declared")
+
+        declared = run_proc(env, proc())
+        assert declared == 0
+        assert policy.failed_nodes == frozenset()
+
+    def test_local_vs_remote_metrics(self):
+        cluster, _, _, policy, _, client = build_stack()
+        env = cluster.env
+        local = [(f, nb) for f, nb in FILES if policy.target_for(f).node == 0]
+        remote = [(f, nb) for f, nb in FILES if policy.target_for(f).node != 0]
+
+        def proc():
+            yield from client.read_files(FILES)  # populate
+            yield from client.read_files(FILES)  # warm, counted below
+
+        run_proc(env, proc())
+        if local:
+            assert client.metrics.get("client.local_bytes") > 0
+        assert client.metrics.get("client.remote_bytes") > 0
+
+
+class TestPosixInterceptor:
+    def _setup(self):
+        cluster, _, servers, policy, _, client = build_stack()
+        catalog = {f"/ds/f{i}": (i, 1.0 * MiB) for i in range(8)}
+        return cluster, PosixInterceptor(client, catalog)
+
+    def test_open_read_close(self):
+        cluster, posix = self._setup()
+
+        def proc():
+            fh = posix.open("/ds/f3")
+            n = yield from posix.read(fh)
+            posix.close(fh)
+            return n, fh.closed, posix.open_count
+
+        n, closed, open_count = run_proc(cluster.env, proc())
+        assert n == 1.0 * MiB and closed and open_count == 0
+
+    def test_partial_reads_and_eof(self):
+        cluster, posix = self._setup()
+
+        def proc():
+            fh = posix.open("/ds/f0")
+            a = yield from posix.read(fh, 0.25 * MiB)
+            b = yield from posix.read(fh)  # rest
+            c = yield from posix.read(fh)  # EOF
+            return a, b, c
+
+        a, b, c = run_proc(cluster.env, proc())
+        assert a == 0.25 * MiB and b == 0.75 * MiB and c == 0.0
+
+    def test_missing_path(self):
+        _, posix = self._setup()
+        with pytest.raises(FileNotFoundError):
+            posix.open("/ds/nope")
+
+    def test_read_after_close_rejected(self):
+        cluster, posix = self._setup()
+        fh = posix.open("/ds/f1")
+        posix.close(fh)
+        with pytest.raises(ValueError):
+            list(posix.read(fh))
+
+    def test_fds_unique(self):
+        _, posix = self._setup()
+        fds = {posix.open(f"/ds/f{i}").fd for i in range(5)}
+        assert len(fds) == 5

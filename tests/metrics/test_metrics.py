@@ -1,0 +1,136 @@
+"""Tests for counters, summary statistics, and run timelines."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    MetricsCollector,
+    Timeline,
+    percent_change,
+    speedup,
+    summarize,
+)
+
+
+class TestCollector:
+    def test_counters(self):
+        m = MetricsCollector()
+        m.inc("reads")
+        m.inc("reads", 2)
+        m.add("bytes", 100.0)
+        assert m.get("reads") == 3 and m.get("bytes") == 100.0
+        assert m.get("missing") == 0.0
+
+    def test_histograms(self):
+        m = MetricsCollector()
+        m.bump("served", "node0", 5)
+        m.bump("served", "node1", 3)
+        m.bump("served", "node0", 1)
+        assert m.histogram("served") == {"node0": 6, "node1": 3}
+        np.testing.assert_array_equal(
+            m.histogram_array("served", ["node0", "node1", "node2"]), [6.0, 3.0, 0.0]
+        )
+
+    def test_series(self):
+        m = MetricsCollector()
+        m.record("queue", 1.0, 5.0)
+        m.record("queue", 2.0, 7.0)
+        t, v = m.series_arrays("queue")
+        np.testing.assert_array_equal(t, [1.0, 2.0])
+        np.testing.assert_array_equal(v, [5.0, 7.0])
+        t_empty, _ = m.series_arrays("nothing")
+        assert len(t_empty) == 0
+
+    def test_snapshot_is_a_copy(self):
+        m = MetricsCollector()
+        m.inc("x")
+        snap = m.snapshot()
+        m.inc("x")
+        assert snap["x"] == 1 and m.get("x") == 2
+
+    def test_merge(self):
+        a, b = MetricsCollector(), MetricsCollector()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.bump("h", "k", 4)
+        b.record("s", 0.0, 1.0)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.histogram("h") == {"k": 4}
+        assert len(a.series["s"]) == 1
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4 and s.mean == 2.5 and s.median == 2.5
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_summarize_single_value(self):
+        s = summarize([5.0])
+        assert s.std == 0.0 and s.mean == 5.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percent_change(self):
+        assert percent_change(100.0, 125.0) == pytest.approx(25.0)
+        assert percent_change(100.0, 75.0) == pytest.approx(-25.0)
+        with pytest.raises(ValueError):
+            percent_change(0.0, 1.0)
+
+    def test_speedup_matches_paper_convention(self):
+        # "outperforming FT w/ PFS by 24.9%": nvme = pfs × (1 - 0.249)
+        t_pfs = 100.0
+        t_nvme = 75.1
+        assert speedup(t_pfs, t_nvme) == pytest.approx(24.9)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_summary_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestTimeline:
+    def test_epoch_recording(self):
+        tl = Timeline()
+        rec = tl.begin_epoch(0, 10.0, n_nodes=8)
+        rec.end = 25.0
+        assert rec.duration == 15.0
+        assert tl.epoch_durations() == {0: 15.0}
+
+    def test_unfinished_epoch_duration_raises(self):
+        tl = Timeline()
+        rec = tl.begin_epoch(0, 0.0, 4)
+        with pytest.raises(ValueError):
+            _ = rec.duration
+
+    def test_rollback_attempts_summed(self):
+        tl = Timeline()
+        a = tl.begin_epoch(1, 0.0, 8)
+        a.end = 5.0
+        b = tl.begin_epoch(1, 7.0, 7)
+        b.end = 17.0
+        assert tl.epoch_durations() == {1: 15.0}
+
+    def test_failure_marks_victim(self):
+        tl = Timeline()
+        tl.begin_epoch(2, 0.0, 8)
+        tl.note_failure(3.0, node_id=5, epoch=2)
+        assert tl.victim_epochs() == [2]
+        assert tl.failures[0].node_id == 5
+
+    def test_failure_after_epoch_end_not_victim(self):
+        tl = Timeline()
+        rec = tl.begin_epoch(0, 0.0, 8)
+        rec.end = 1.0
+        tl.note_failure(2.0, node_id=1, epoch=0)
+        assert rec.victim is False
+
+    def test_current_epoch(self):
+        tl = Timeline()
+        assert tl.current_epoch() is None
+        rec = tl.begin_epoch(0, 0.0, 2)
+        assert tl.current_epoch() is rec

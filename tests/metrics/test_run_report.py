@@ -1,0 +1,74 @@
+"""Tests for the post-run report renderer."""
+
+from repro.cluster import Cluster
+from repro.cluster.config import frontier
+from repro.cluster.slurm import SlurmController
+from repro.dl import Dataset, TrainingConfig, TrainingJob
+from repro.dl.fastsim import FluidTrainingModel
+from repro.failures import FailureInjector
+from repro.metrics import render_run_report
+
+DS = Dataset(name="t", n_samples=128, sample_bytes=1.5e6)
+
+
+def run_with_failure(trace=True):
+    cluster = Cluster.frontier(n_nodes=6, seed=3)
+    cfg = TrainingConfig(epochs=3, batch_size=8, ttl=0.4, timeout_threshold=2)
+    job = TrainingJob(cluster, DS, "FT w/ NVMe", cfg, trace=trace)
+    FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 1)
+    return job, job.run()
+
+
+class TestRunReport:
+    def test_sections_present(self):
+        job, result = run_with_failure()
+        report = render_run_report(result, tracer=job.tracer)
+        for section in ("Run report", "Epochs", "Failures", "I/O breakdown",
+                        "Operation latencies"):
+            assert section in report
+
+    def test_header_facts(self):
+        job, result = run_with_failure()
+        report = render_run_report(result)
+        assert "nodes 6 → 5" in report
+        assert "completed" in report
+        assert "1 failure(s)" in report
+
+    def test_victim_epoch_flagged(self):
+        job, result = run_with_failure()
+        assert "victim" in render_run_report(result)
+
+    def test_io_breakdown_contents(self):
+        job, result = run_with_failure()
+        report = render_run_report(result)
+        assert "cache hit rate" in report
+        assert "RPC timeouts" in report
+
+    def test_without_tracer(self):
+        job, result = run_with_failure(trace=False)
+        report = render_run_report(result)
+        assert "Operation latencies" not in report
+
+    def test_aborted_run_reported(self):
+        cluster = Cluster.frontier(n_nodes=4, seed=3)
+        cfg = TrainingConfig(epochs=3, batch_size=8, ttl=0.3, timeout_threshold=1)
+        job = TrainingJob(cluster, DS, "NoFT", cfg)
+        FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 1)
+        result = job.run()
+        report = render_run_report(result)
+        assert "ABORTED" in report and "NoFT" in report
+
+    def test_fluid_result_supported(self):
+        res = FluidTrainingModel(
+            frontier(8), DS, "FT w/ NVMe", TrainingConfig(epochs=2, batch_size=8), 1, seed=2
+        ).run()
+        report = render_run_report(res)
+        assert "Run report" in report and "Epochs" in report
+        # Fluid results carry no MetricsCollector: no I/O section, no crash.
+        assert "I/O breakdown" not in report
+
+    def test_no_failure_run(self):
+        cluster = Cluster.frontier(n_nodes=4, seed=1)
+        job = TrainingJob(cluster, DS, "FT w/ NVMe", TrainingConfig(epochs=1, batch_size=8))
+        result = job.run()
+        assert "no failures injected" in render_run_report(result)

@@ -1,0 +1,105 @@
+"""Tests for operation tracing and its analysis."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.dl import Dataset, TrainingConfig, TrainingJob
+from repro.metrics import Span, TraceAnalysis, Tracer
+
+
+class TestTracer:
+    def test_record_and_len(self):
+        t = Tracer()
+        t.record("op", 0, 1.0, 2.0, nbytes=10.0)
+        assert len(t) == 1
+        assert t.spans[0].duration == 1.0
+
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record("op", 0, 1.0, 2.0)
+        assert len(t) == 0
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().record("op", 0, 2.0, 1.0)
+
+
+class TestTraceAnalysis:
+    def _spans(self):
+        return [
+            Span("read", 0, 0.0, 1.0, 100.0),
+            Span("read", 1, 0.5, 2.5, 200.0),
+            Span("read", 0, 2.0, 3.0, 100.0),
+            Span("write", 0, 0.0, 4.0, 50.0),
+        ]
+
+    def test_kinds(self):
+        a = TraceAnalysis(self._spans())
+        assert a.kinds == ("read", "write")
+
+    def test_percentiles(self):
+        a = TraceAnalysis(self._spans())
+        p = a.percentiles("read", qs=(50,))
+        assert p[50] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            a.percentiles("missing")
+
+    def test_total_and_per_node_bytes(self):
+        a = TraceAnalysis(self._spans())
+        assert a.total_bytes("read") == 400.0
+        assert a.total_bytes() == 450.0
+        assert a.per_node_bytes("read") == {0: 200.0, 1: 200.0}
+
+    def test_concurrency_queries(self):
+        a = TraceAnalysis(self._spans())
+        assert a.concurrency("read", 0.75) == 2
+        assert a.concurrency("read", 1.5) == 1
+        assert a.peak_concurrency("read") == 2
+        assert a.peak_concurrency("missing") == 0
+
+    def test_breakdown_table(self):
+        rows = TraceAnalysis(self._spans()).breakdown_table()
+        assert [r[0] for r in rows] == ["read", "write"]
+        read_row = rows[0]
+        assert read_row[1] == 3 and read_row[2] == pytest.approx(400e-9)
+
+    def test_summary(self):
+        s = TraceAnalysis(self._spans()).summary("read")
+        assert s.n == 3
+
+
+class TestEndToEndTracing:
+    def test_training_job_produces_spans(self):
+        ds = Dataset(name="t", n_samples=64, sample_bytes=1e6)
+        cluster = Cluster.frontier(n_nodes=4, seed=1)
+        job = TrainingJob(cluster, ds, "FT w/ NVMe", TrainingConfig(epochs=2, batch_size=8), trace=True)
+        job.run()
+        a = job.tracer.analyze()
+        assert "client.rpc_read" in a.kinds
+        assert "server.pfs_fetch" in a.kinds
+        # Cold epoch fetched the whole dataset from the PFS exactly once.
+        assert a.total_bytes("server.pfs_fetch") == pytest.approx(ds.total_bytes)
+        # Warm reads dominate the RPC count (2 epochs of traffic).
+        assert len(a.of_kind("client.rpc_read")) > len(a.of_kind("server.pfs_fetch"))
+
+    def test_tracing_off_by_default(self):
+        ds = Dataset(name="t", n_samples=16, sample_bytes=1e6)
+        cluster = Cluster.frontier(n_nodes=2, seed=1)
+        job = TrainingJob(cluster, ds, "FT w/ NVMe", TrainingConfig(epochs=1, batch_size=8))
+        assert job.tracer is None
+
+    def test_timeout_spans_recorded_on_failure(self):
+        ds = Dataset(name="t", n_samples=64, sample_bytes=1e6)
+        cluster = Cluster.frontier(n_nodes=4, seed=1)
+        cfg = TrainingConfig(epochs=3, batch_size=8, ttl=0.3, timeout_threshold=2)
+        job = TrainingJob(cluster, ds, "FT w/ NVMe", cfg, trace=True)
+        from repro.cluster.slurm import SlurmController
+        from repro.failures import FailureInjector
+
+        FailureInjector(SlurmController(cluster)).inject_after_first_epoch(job, 1)
+        job.run()
+        a = job.tracer.analyze()
+        timeouts = a.of_kind("client.rpc_timeout")
+        assert timeouts
+        # Every timeout span lasted at least the TTL.
+        assert min(s.duration for s in timeouts) >= 0.3 - 1e-9

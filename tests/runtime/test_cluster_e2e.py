@@ -1,0 +1,158 @@
+"""End-to-end tests of the threaded runtime: real sockets, real failures."""
+
+import pytest
+
+from repro.core import UnrecoverableNodeFailure
+from repro.runtime import LocalCluster, ReadError
+
+
+@pytest.fixture
+def cluster():
+    with LocalCluster(n_servers=4, policy="nvme", ttl=0.3, timeout_threshold=2) as c:
+        c.populate(n_files=24, file_bytes=2048, seed=1)
+        yield c
+
+
+class TestHappyPath:
+    def test_miss_then_hit(self, cluster):
+        client = cluster.client()
+        path = cluster.paths[0]
+        data1 = client.read(path)
+        data2 = client.read(path)
+        assert data1 == data2 and len(data1) == 2048
+        stats = cluster.total_stats()
+        assert stats["pfs_reads"] >= 1
+
+    def test_all_files_cached_after_full_pass(self, cluster):
+        client = cluster.client()
+        for p in cluster.paths:
+            client.read(p)
+        import time
+
+        time.sleep(0.2)  # data movers are async
+        for p in cluster.paths:
+            client.read(p)
+        stats = cluster.total_stats()
+        assert stats["hits"] >= len(cluster.paths)
+        assert stats["recached"] == len(cluster.paths)
+
+    def test_content_integrity(self, cluster):
+        client = cluster.client()
+        direct = {p: cluster.pfs.read(p) for p in cluster.paths[:6]}
+        for p, expected in direct.items():
+            assert client.read(p) == expected
+            assert client.read(p) == expected  # cached copy identical
+
+    def test_missing_file_raises(self, cluster):
+        client = cluster.client()
+        with pytest.raises(ReadError, match="no such file"):
+            client.read("/dataset/train/missing.bin")
+
+    def test_server_stat(self, cluster):
+        client = cluster.client()
+        client.read(cluster.paths[0])
+        node = cluster.owner_of(cluster.paths[0], client.policy)
+        stat = client.server_stat(node)
+        assert stat is not None and stat["node_id"] == node
+
+    def test_load_spread_across_servers(self, cluster):
+        client = cluster.client()
+        for p in cluster.paths:
+            client.read(p)
+        served = [s.stats.hits + s.stats.misses for s in cluster.servers.values()]
+        assert sum(1 for x in served if x > 0) >= 3  # ring spreads load
+
+
+class TestFailureRecovery:
+    def test_hang_failure_detected_and_rerouted(self, cluster):
+        client = cluster.client()
+        for p in cluster.paths:
+            client.read(p)
+        victim = cluster.owner_of(cluster.paths[0], client.policy)
+        cluster.kill_server(victim, mode="hang")
+        data = client.read(cluster.paths[0])
+        assert len(data) == 2048
+        assert client.stats["declared"] == 1
+        assert victim in client.policy.failed_nodes
+        assert victim not in client.policy.placement.nodes
+
+    def test_drop_failure_detected(self, cluster):
+        client = cluster.client()
+        client.read(cluster.paths[0])
+        victim = cluster.owner_of(cluster.paths[0], client.policy)
+        cluster.kill_server(victim, mode="drop")
+        assert client.read(cluster.paths[0]) is not None
+        assert client.stats["declared"] == 1
+
+    def test_subsequent_reads_fast_after_recache(self, cluster):
+        import time
+
+        client = cluster.client()
+        for p in cluster.paths:
+            client.read(p)
+        victim = cluster.owner_of(cluster.paths[0], client.policy)
+        cluster.kill_server(victim)
+        client.read(cluster.paths[0])  # pays detection
+        t0 = time.monotonic()
+        client.read(cluster.paths[0])  # re-homed; no TTL involved
+        assert time.monotonic() - t0 < cluster.ttl
+
+    def test_pfs_redirect_policy(self):
+        with LocalCluster(n_servers=3, policy="pfs", ttl=0.3, timeout_threshold=2) as c:
+            paths = c.populate(n_files=12, file_bytes=512)
+            client = c.client()
+            for p in paths:
+                client.read(p)
+            victim = c.owner_of(paths[0], client.policy)
+            c.kill_server(victim)
+            # Find a path owned by the victim and read it twice: both hit PFS.
+            lost = [p for p in paths if client.policy.placement.lookup(p) == victim]
+            before = client.stats["pfs_direct_reads"]
+            for p in lost:
+                client.read(p)
+                client.read(p)
+            assert client.stats["pfs_direct_reads"] == before + 2 * len(lost)
+
+    def test_noft_policy_aborts(self):
+        with LocalCluster(n_servers=3, policy="NoFT", ttl=0.2, timeout_threshold=1) as c:
+            paths = c.populate(n_files=6, file_bytes=256)
+            client = c.client()
+            for p in paths:
+                client.read(p)
+            victim = c.owner_of(paths[0], client.policy)
+            c.kill_server(victim)
+            lost = next(p for p in paths if client.policy.placement.lookup(p) == victim)
+            with pytest.raises(UnrecoverableNodeFailure):
+                client.read(lost)
+
+    def test_two_failures_survived(self, cluster):
+        client = cluster.client()
+        for p in cluster.paths:
+            client.read(p)
+        survivors = cluster.alive_servers
+        cluster.kill_server(survivors[0])
+        cluster.kill_server(survivors[1])
+        for p in cluster.paths:
+            assert len(client.read(p)) == 2048
+        assert len(client.policy.placement.nodes) == 2
+
+
+class TestClusterManager:
+    def test_populate_writes_pfs(self, cluster):
+        assert len(cluster.paths) == 24
+        assert cluster.pfs.exists(cluster.paths[-1])
+
+    def test_alive_servers_tracking(self, cluster):
+        assert sorted(cluster.alive_servers) == [0, 1, 2, 3]
+        cluster.kill_server(2)
+        assert 2 not in cluster.alive_servers
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LocalCluster(n_servers=0)
+
+    def test_static_policy_cluster(self):
+        with LocalCluster(n_servers=2, policy="pfs") as c:
+            c.populate(n_files=4, file_bytes=128)
+            client = c.client()
+            assert all(len(client.read(p)) == 128 for p in c.paths)

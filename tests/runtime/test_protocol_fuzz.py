@@ -1,0 +1,70 @@
+"""Property-based fuzzing of the wire protocol."""
+
+import socket
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Message, recv_message, send_message
+
+_header_values = st.recursive(
+    st.none() | st.booleans() | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=10,
+)
+
+_headers = st.dictionaries(
+    st.text(min_size=1, max_size=20).filter(lambda k: k != "payload_len"),
+    _header_values,
+    max_size=6,
+)
+
+
+class TestProtocolRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(header=_headers, payload=st.binary(max_size=4096))
+    def test_any_header_payload_round_trips(self, header, payload):
+        a, b = socket.socketpair()
+        try:
+            out = {}
+
+            def reader():
+                out["msg"] = recv_message(b)
+
+            t = threading.Thread(target=reader)
+            t.start()
+            send_message(a, Message(header=dict(header), payload=payload))
+            t.join(timeout=5)
+            assert not t.is_alive()
+            msg = out["msg"]
+            assert msg.payload == payload
+            for k, v in header.items():
+                assert msg.header[k] == v
+            assert msg.header["payload_len"] == len(payload)
+        finally:
+            a.close()
+            b.close()
+
+    @settings(max_examples=20, deadline=None)
+    @given(payloads=st.lists(st.binary(max_size=512), min_size=1, max_size=8))
+    def test_back_to_back_frames_preserve_order(self, payloads):
+        a, b = socket.socketpair()
+        try:
+            received = []
+
+            def reader():
+                for _ in payloads:
+                    received.append(recv_message(b).payload)
+
+            t = threading.Thread(target=reader)
+            t.start()
+            for i, p in enumerate(payloads):
+                send_message(a, Message(header={"i": i}, payload=p))
+            t.join(timeout=5)
+            assert received == payloads
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,162 @@
+"""Tests for the wire protocol and directory-backed storage."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.runtime import Message, ProtocolError, NVMeDir, PFSDir, recv_message, send_message
+
+
+def _pair():
+    a, b = socket.socketpair()
+    return a, b
+
+
+class TestProtocol:
+    def test_round_trip_with_payload(self):
+        a, b = _pair()
+        try:
+            send_message(a, Message.request("READ", path="/x", extra=1))
+            msg = recv_message(b)
+            assert msg.op == "READ" and msg.header["path"] == "/x" and msg.header["extra"] == 1
+            send_message(b, Message.ok_response(payload=b"\x00\x01data", source="cache"))
+            resp = recv_message(a)
+            assert resp.ok and resp.payload == b"\x00\x01data" and resp.header["source"] == "cache"
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_payload(self):
+        a, b = _pair()
+        try:
+            send_message(a, Message.request("PING"))
+            assert recv_message(b).payload == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_payload_chunked(self):
+        a, b = _pair()
+        data = bytes(range(256)) * 4096  # 1 MiB
+        out = {}
+
+        def reader():
+            out["msg"] = recv_message(b)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            send_message(a, Message.ok_response(payload=data))
+            t.join(timeout=5)
+            assert out["msg"].payload == data
+        finally:
+            a.close()
+            b.close()
+
+    def test_error_response(self):
+        m = Message.error_response("nope", code="ENOENT")
+        assert not m.ok and m.header["reason"] == "nope"
+
+    def test_eof_mid_frame_raises(self):
+        a, b = _pair()
+        a.sendall(b"\x00\x00\x00\x10partial")
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_message(b)
+        b.close()
+
+    def test_corrupt_header_raises(self):
+        a, b = _pair()
+        try:
+            a.sendall(b"\x00\x00\x00\x04notj")
+            with pytest.raises(ProtocolError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_header_rejected(self):
+        a, b = _pair()
+        try:
+            a.sendall((2**21).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestNVMeDir:
+    def test_write_read_contains(self, tmp_path):
+        nv = NVMeDir(tmp_path / "nvme")
+        nv.write("/data/a.bin", b"hello")
+        assert nv.contains("/data/a.bin")
+        assert nv.read("/data/a.bin") == b"hello"
+        assert nv.used_bytes == 5
+        assert nv.entry_count() == 1
+
+    def test_distinct_keys_no_collision(self, tmp_path):
+        nv = NVMeDir(tmp_path)
+        nv.write("/a/x.bin", b"1")
+        nv.write("/b/x.bin", b"2")  # same basename, different path
+        assert nv.read("/a/x.bin") == b"1"
+        assert nv.read("/b/x.bin") == b"2"
+
+    def test_capacity_enforced(self, tmp_path):
+        nv = NVMeDir(tmp_path, capacity_bytes=10)
+        nv.write("/a", b"12345")
+        with pytest.raises(OSError):
+            nv.write("/b", b"123456789")
+
+    def test_drop(self, tmp_path):
+        nv = NVMeDir(tmp_path)
+        nv.write("/a", b"abc")
+        nv.drop("/a")
+        assert not nv.contains("/a") and nv.used_bytes == 0
+        nv.drop("/never-existed")  # no-op
+
+    def test_clear(self, tmp_path):
+        nv = NVMeDir(tmp_path)
+        for i in range(4):
+            nv.write(f"/f{i}", b"x")
+        nv.clear()
+        assert nv.entry_count() == 0 and nv.used_bytes == 0
+
+    def test_used_bytes_rescanned_on_reopen(self, tmp_path):
+        nv = NVMeDir(tmp_path)
+        nv.write("/a", b"12345678")
+        again = NVMeDir(tmp_path)
+        assert again.used_bytes == 8
+
+
+class TestPFSDir:
+    def test_write_read(self, tmp_path):
+        pfs = PFSDir(tmp_path / "pfs")
+        pfs.write("/ds/train/s1.bin", b"payload")
+        assert pfs.exists("/ds/train/s1.bin")
+        assert pfs.read("/ds/train/s1.bin") == b"payload"
+        assert pfs.reads == 1
+
+    def test_missing_file(self, tmp_path):
+        pfs = PFSDir(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            pfs.read("/nope")
+
+    def test_path_escape_blocked(self, tmp_path):
+        pfs = PFSDir(tmp_path / "pfs")
+        with pytest.raises(PermissionError):
+            pfs.read("/../../etc/passwd")
+
+    def test_read_delay(self, tmp_path):
+        import time
+
+        pfs = PFSDir(tmp_path, read_delay=0.05)
+        pfs.write("/a", b"x")
+        t0 = time.monotonic()
+        pfs.read("/a")
+        assert time.monotonic() - t0 >= 0.045
+
+    def test_negative_delay_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PFSDir(tmp_path, read_delay=-1)

@@ -1,0 +1,383 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from tests.conftest import run_proc
+
+
+class TestEventBasics:
+    def test_succeed_carries_value(self, env):
+        evt = env.event()
+        evt.succeed(42)
+        env.run()
+        assert evt.processed and evt.ok and evt.value == 42
+
+    def test_double_succeed_rejected(self, env):
+        evt = env.event()
+        evt.succeed(1)
+        with pytest.raises(SimulationError):
+            evt.succeed(2)
+
+    def test_fail_requires_exception(self, env):
+        evt = env.event()
+        with pytest.raises(TypeError):
+            evt.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        evt = env.event()
+        with pytest.raises(SimulationError):
+            _ = evt.value
+
+    def test_failed_event_defused_does_not_crash_run(self, env):
+        evt = env.event()
+        evt.fail(RuntimeError("boom"))
+        evt.defuse()
+        env.run()  # must not raise
+
+    def test_failed_event_undefused_crashes_run(self, env):
+        evt = env.event()
+        evt.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+
+class TestTimeout:
+    def test_advances_clock(self, env):
+        def proc():
+            yield env.timeout(2.5)
+            return env.now
+
+        assert run_proc(env, proc()) == 2.5
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_at_now(self, env):
+        def proc():
+            yield env.timeout(0)
+            return env.now
+
+        assert run_proc(env, proc()) == 0.0
+
+    def test_timeout_value_passthrough(self, env):
+        def proc():
+            got = yield env.timeout(1.0, value="payload")
+            return got
+
+        assert run_proc(env, proc()) == "payload"
+
+    def test_timeouts_fire_in_time_order(self, env):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            t = env.timeout(delay)
+            t.callbacks.append(lambda e, d=delay: order.append(d))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo_order(self, env):
+        order = []
+        for i in range(5):
+            t = env.timeout(1.0)
+            t.callbacks.append(lambda e, i=i: order.append(i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return "done"
+
+        assert run_proc(env, proc()) == "done"
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_process_is_event_waitable(self, env):
+        def child():
+            yield env.timeout(2)
+            return 7
+
+        def parent():
+            value = yield env.process(child())
+            return (value, env.now)
+
+        assert run_proc(env, parent()) == (7, 2.0)
+
+    def test_exception_propagates_to_waiter(self, env):
+        def child():
+            yield env.timeout(1)
+            raise ValueError("child died")
+
+        def parent():
+            try:
+                yield env.process(child())
+            except ValueError as exc:
+                return str(exc)
+
+        assert run_proc(env, parent()) == "child died"
+
+    def test_unwaited_process_exception_crashes_run(self, env):
+        def child():
+            yield env.timeout(1)
+            raise ValueError("unhandled")
+
+        env.process(child())
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_yield_already_processed_event_resumes(self, env):
+        evt = env.event()
+        evt.succeed("cached")
+
+        def proc():
+            yield env.timeout(5)  # evt is long processed by now
+            got = yield evt
+            return (got, env.now)
+
+        assert run_proc(env, proc()) == ("cached", 5.0)
+
+    def test_yield_foreign_event_rejected(self, env):
+        other = Environment()
+        foreign = other.event()
+
+        def proc():
+            yield foreign
+
+        env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_sequential_processes_share_clock(self, env):
+        log = []
+
+        def a():
+            yield env.timeout(1)
+            log.append(("a", env.now))
+
+        def b():
+            yield env.timeout(2)
+            log.append(("b", env.now))
+
+        env.process(a())
+        env.process(b())
+        env.run()
+        assert log == [("a", 1.0), ("b", 2.0)]
+
+
+class TestInterrupt:
+    def test_interrupt_caught_in_process(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, env.now)
+
+        proc = env.process(victim())
+
+        def killer():
+            yield env.timeout(3)
+            proc.interrupt("because")
+
+        env.process(killer())
+        env.run()
+        assert proc.value == ("interrupted", "because", 3.0)
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        proc = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(5)
+            return env.now
+
+        proc = env.process(victim())
+
+        def killer():
+            yield env.timeout(2)
+            proc.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert proc.value == 7.0
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def victim():
+            yield env.timeout(100)
+
+        proc = env.process(victim())
+
+        def killer():
+            yield env.timeout(1)
+            proc.interrupt()
+
+        def waiter():
+            try:
+                yield proc
+            except Interrupt:
+                return "saw it"
+
+        env.process(killer())
+        w = env.process(waiter())
+        env.run()
+        assert w.value == "saw it"
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, env):
+        def proc():
+            fast = env.timeout(1, value="fast")
+            slow = env.timeout(5, value="slow")
+            fired = yield AnyOf(env, [fast, slow])
+            return (fast in fired, slow in fired, env.now)
+
+        assert run_proc(env, proc()) == (True, False, 1.0)
+
+    def test_all_of_waits_for_slowest(self, env):
+        def proc():
+            a = env.timeout(1, value="a")
+            b = env.timeout(4, value="b")
+            fired = yield AllOf(env, [a, b])
+            return (fired[a], fired[b], env.now)
+
+        assert run_proc(env, proc()) == ("a", "b", 4.0)
+
+    def test_any_of_with_already_processed_member(self, env):
+        evt = env.event()
+        evt.succeed("early")
+
+        def proc():
+            yield env.timeout(1)
+            fired = yield AnyOf(env, [evt, env.timeout(99)])
+            return (evt in fired, env.now)
+
+        assert run_proc(env, proc()) == (True, 1.0)
+
+    def test_all_of_empty_fires_immediately(self, env):
+        def proc():
+            yield AllOf(env, [])
+            return env.now
+
+        assert run_proc(env, proc()) == 0.0
+
+    def test_any_of_failure_propagates(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("bad member")
+
+        def proc():
+            try:
+                yield AnyOf(env, [env.process(bad()), env.timeout(50)])
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert run_proc(env, proc()) == "bad member"
+
+    def test_all_of_returns_process_values(self, env):
+        def worker(delay, tag):
+            yield env.timeout(delay)
+            return tag
+
+        def proc():
+            procs = [env.process(worker(d, t)) for d, t in ((2, "x"), (1, "y"))]
+            fired = yield AllOf(env, procs)
+            return [fired[p] for p in procs]
+
+        assert run_proc(env, proc()) == ["x", "y"]
+
+    def test_late_failure_after_anyof_won_is_absorbed(self, env):
+        def bad():
+            yield env.timeout(5)
+            raise RuntimeError("late")
+
+        def proc():
+            yield AnyOf(env, [env.timeout(1), env.process(bad())])
+            return env.now
+
+        assert run_proc(env, proc()) == 1.0
+        env.run()  # drain the late failure without crashing
+
+    def test_nested_conditions(self, env):
+        def proc():
+            inner = AllOf(env, [env.timeout(1), env.timeout(2)])
+            fired = yield AnyOf(env, [inner, env.timeout(10)])
+            return (inner in fired, env.now)
+
+        assert run_proc(env, proc()) == (True, 2.0)
+
+
+class TestRun:
+    def test_run_until_time_stops_clock(self, env):
+        env.timeout(100)
+        env.run(until=3.5)
+        assert env.now == 3.5
+
+    def test_run_until_past_rejected(self, env):
+        env.run(until=5)
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+    def test_run_until_event_returns_value(self, env):
+        def proc():
+            yield env.timeout(2)
+            return 99
+
+        assert env.run(until=env.process(proc())) == 99
+
+    def test_run_until_never_firing_event_raises(self, env):
+        evt = env.event()
+        env.timeout(1)
+        with pytest.raises(SimulationError):
+            env.run(until=evt)
+
+    def test_peek_empty_queue_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_determinism_across_instances(self):
+        def scenario(e):
+            log = []
+
+            def worker(tag, delay):
+                yield e.timeout(delay)
+                log.append((tag, e.now))
+
+            for i in range(10):
+                e.process(worker(i, (i * 7) % 5 + 0.5))
+            e.run()
+            return log
+
+        assert scenario(Environment()) == scenario(Environment())
+
+    def test_active_process_tracking(self, env):
+        seen = []
+
+        def proc():
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc())
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None

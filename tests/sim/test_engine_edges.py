@@ -1,0 +1,34 @@
+"""Edge tests for engine conveniences and Timeout values in conditions."""
+
+from repro.sim import AnyOf, Environment
+from tests.conftest import run_proc
+
+
+class TestEnvConveniences:
+    def test_any_of_method(self, env):
+        def proc():
+            fired = yield env.any_of([env.timeout(1, value="a"), env.timeout(9)])
+            return list(fired.values())
+
+        assert run_proc(env, proc()) == ["a"]
+
+    def test_all_of_method(self, env):
+        def proc():
+            fired = yield env.all_of([env.timeout(1, value="a"), env.timeout(2, value="b")])
+            return sorted(fired.values())
+
+        assert run_proc(env, proc()) == ["a", "b"]
+
+    def test_timeout_values_visible_in_condition_results(self, env):
+        def proc():
+            t = env.timeout(3, value={"payload": 1})
+            fired = yield AnyOf(env, [t])
+            return fired[t]
+
+        assert run_proc(env, proc()) == {"payload": 1}
+
+    def test_independent_environments_do_not_interact(self):
+        e1, e2 = Environment(), Environment()
+        e1.timeout(5)
+        e2.run()  # empty queue: no effect from e1's event
+        assert e2.now == 0.0 and e1.peek() == 5.0

@@ -1,0 +1,150 @@
+"""Property-based tests of the simulation kernel and fluid-flow link.
+
+These pin the invariants everything upstream relies on: causality (the
+clock never runs backwards through any callback ordering), completion
+(every scheduled process finishes when nothing blocks forever), and
+conservation (a fair-share link neither creates nor destroys bytes, and
+is work-conserving: total time equals total bytes over rate when the link
+is never idle).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, Environment, SharedBandwidth
+
+
+class TestEngineProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=30
+        )
+    )
+    def test_causality_over_random_timeouts(self, delays):
+        env = Environment()
+        observed = []
+        for d in delays:
+            t = env.timeout(d)
+            t.callbacks.append(lambda e, d=d: observed.append(env.now))
+        env.run()
+        assert observed == sorted(observed)
+        assert env.now == max(delays)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        chains=st.lists(
+            st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=5),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_every_process_completes(self, chains):
+        env = Environment()
+
+        def worker(steps):
+            total = 0.0
+            for s in steps:
+                yield env.timeout(s)
+                total += s
+            return total
+
+        procs = [env.process(worker(c)) for c in chains]
+        env.run()
+        for proc, chain in zip(procs, chains):
+            assert proc.processed
+            assert proc.value == sum(chain)
+        assert env.now == max(sum(c) for c in chains)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        n=st.integers(min_value=1, max_value=15),
+    )
+    def test_fork_join_determinism(self, seed, n):
+        def scenario():
+            env = Environment()
+            rng = np.random.default_rng(seed)
+
+            def worker(d):
+                yield env.timeout(float(d))
+                return float(env.now)
+
+            def parent():
+                kids = [env.process(worker(rng.integers(1, 50) / 10)) for _ in range(n)]
+                done = yield AllOf(env, kids)
+                return tuple(done[k] for k in kids)
+
+            p = env.process(parent())
+            env.run()
+            return p.value
+
+        assert scenario() == scenario()
+
+
+class TestBandwidthConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=20),
+        rate=st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_bytes_conserved(self, sizes, rate):
+        env = Environment()
+        link = SharedBandwidth(env, rate=rate)
+
+        def proc():
+            yield AllOf(env, [link.transfer(s) for s in sizes])
+
+        env.process(proc())
+        env.run()
+        np.testing.assert_allclose(link.bytes_moved, sum(sizes), rtol=1e-9)
+        assert link.active_transfers == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=20),
+        rate=st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_work_conserving_when_saturated(self, sizes, rate):
+        # All transfers start at t=0, so the link is never idle: the last
+        # completion lands exactly at total_bytes / rate.
+        env = Environment()
+        link = SharedBandwidth(env, rate=rate)
+
+        def proc():
+            yield AllOf(env, [link.transfer(s) for s in sizes])
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        np.testing.assert_allclose(p.value, sum(sizes) / rate, rtol=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),  # start
+                st.floats(min_value=0.1, max_value=50.0),  # bytes
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_completion_never_before_ideal(self, arrivals):
+        # No transfer can beat bytes/rate from its own start time.
+        env = Environment()
+        link = SharedBandwidth(env, rate=7.0)
+        results = []
+
+        def sender(start, nbytes):
+            yield env.timeout(start)
+            t0 = env.now
+            yield link.transfer(nbytes)
+            results.append((t0, env.now, nbytes))
+
+        for start, nbytes in arrivals:
+            env.process(sender(start, nbytes))
+        env.run()
+        for t0, t1, nbytes in results:
+            assert t1 - t0 >= nbytes / 7.0 - 1e-9

@@ -1,0 +1,269 @@
+"""Unit tests for Resource, Store, and the fluid-flow SharedBandwidth."""
+
+import pytest
+
+from repro.sim import AllOf, Environment, Resource, SharedBandwidth, Store
+from tests.conftest import run_proc
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, env):
+        res = Resource(env, capacity=2)
+
+        def proc():
+            with res.request() as req:
+                yield req
+                return env.now
+
+        assert run_proc(env, proc()) == 0.0
+
+    def test_fifo_queueing(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(tag, hold):
+            with res.request() as req:
+                yield req
+                order.append((tag, env.now))
+                yield env.timeout(hold)
+
+        for i in range(3):
+            env.process(holder(i, 2.0))
+        env.run()
+        assert order == [(0, 0.0), (1, 2.0), (2, 4.0)]
+
+    def test_count_and_queued(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def observer():
+            yield env.timeout(1)
+            return (res.count, res.queued)
+
+        env.process(holder())
+        env.process(holder())
+        obs = env.process(observer())
+        env.run()
+        assert obs.value == (1, 1)
+
+    def test_release_is_idempotent(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc():
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)  # no-op
+            return res.count
+
+        assert run_proc(env, proc()) == 0
+
+    def test_cancel_waiting_request(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def canceller():
+            yield env.timeout(1)
+            req = res.request()
+            req.cancel()
+            return res.queued
+
+        env.process(holder())
+        c = env.process(canceller())
+        env.run()
+        assert c.value == 0
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def proc():
+            store.put("item")
+            got = yield store.get()
+            return got
+
+        assert run_proc(env, proc()) == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def getter():
+            got = yield store.get()
+            return (got, env.now)
+
+        def putter():
+            yield env.timeout(3)
+            store.put("late")
+
+        g = env.process(getter())
+        env.process(putter())
+        env.run()
+        assert g.value == ("late", 3.0)
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+
+        def proc():
+            for i in range(5):
+                store.put(i)
+            out = []
+            for _ in range(5):
+                out.append((yield store.get()))
+            return out
+
+        assert run_proc(env, proc()) == [0, 1, 2, 3, 4]
+
+    def test_bounded_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def putter():
+            yield store.put("a")
+            log.append(("a in", env.now))
+            yield store.put("b")
+            log.append(("b in", env.now))
+
+        def getter():
+            yield env.timeout(2)
+            yield store.get()
+
+        env.process(putter())
+        env.process(getter())
+        env.run()
+        assert log == [("a in", 0.0), ("b in", 2.0)]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestSharedBandwidth:
+    def test_single_transfer_exact_time(self, env):
+        link = SharedBandwidth(env, rate=100.0)
+
+        def proc():
+            yield link.transfer(250.0)
+            return env.now
+
+        assert run_proc(env, proc()) == pytest.approx(2.5)
+
+    def test_two_equal_transfers_share_fairly(self, env):
+        link = SharedBandwidth(env, rate=100.0)
+
+        def proc():
+            a = link.transfer(100.0)
+            b = link.transfer(100.0)
+            yield AllOf(env, [a, b])
+            return env.now
+
+        # Each gets 50 B/s → both finish at t=2.
+        assert run_proc(env, proc()) == pytest.approx(2.0)
+
+    def test_late_arrival_slows_first(self, env):
+        link = SharedBandwidth(env, rate=100.0)
+        done = {}
+
+        def first():
+            yield link.transfer(100.0)
+            done["first"] = env.now
+
+        def second():
+            yield env.timeout(0.5)
+            yield link.transfer(100.0)
+            done["second"] = env.now
+
+        env.process(first())
+        env.process(second())
+        env.run()
+        # first: 50B alone (0.5s), then shares: 50B at 50B/s → 1s more = 1.5
+        assert done["first"] == pytest.approx(1.5)
+        # second: 50B shared (1s) then 50B alone (0.5s) → 2.0
+        assert done["second"] == pytest.approx(2.0)
+
+    def test_per_stream_cap(self, env):
+        link = SharedBandwidth(env, rate=1000.0, per_stream_cap=10.0)
+
+        def proc():
+            yield link.transfer(100.0)
+            return env.now
+
+        assert run_proc(env, proc()) == pytest.approx(10.0)
+
+    def test_zero_byte_transfer_is_instant(self, env):
+        link = SharedBandwidth(env, rate=10.0)
+
+        def proc():
+            yield link.transfer(0.0)
+            return env.now
+
+        assert run_proc(env, proc()) == 0.0
+
+    def test_negative_bytes_rejected(self, env):
+        link = SharedBandwidth(env, rate=10.0)
+        with pytest.raises(ValueError):
+            link.transfer(-1.0)
+
+    def test_invalid_rate_rejected(self, env):
+        with pytest.raises(ValueError):
+            SharedBandwidth(env, rate=0)
+        with pytest.raises(ValueError):
+            SharedBandwidth(env, rate=10.0, per_stream_cap=0)
+
+    def test_bytes_moved_accounting(self, env):
+        link = SharedBandwidth(env, rate=100.0)
+
+        def proc():
+            yield link.transfer(30.0)
+            yield link.transfer(70.0)
+            return link.bytes_moved
+
+        assert run_proc(env, proc()) == pytest.approx(100.0)
+
+    def test_many_concurrent_transfers_work_conserving(self, env):
+        link = SharedBandwidth(env, rate=100.0)
+
+        def proc():
+            events = [link.transfer(10.0) for _ in range(10)]
+            yield AllOf(env, events)
+            return env.now
+
+        # 100 bytes total at 100 B/s: exactly 1 s regardless of splitting.
+        assert run_proc(env, proc()) == pytest.approx(1.0)
+
+    def test_tiny_remnants_do_not_spin(self, env):
+        # Regression: float residue below byte resolution must complete,
+        # not schedule zero-delay wake-ups forever.
+        link = SharedBandwidth(env, rate=1 / 3)
+
+        def proc():
+            events = [link.transfer(0.1) for _ in range(7)]
+            yield AllOf(env, events)
+            return env.now
+
+        t = run_proc(env, proc())
+        assert t == pytest.approx(0.7 / (1 / 3), rel=1e-6)
+
+    def test_estimated_time_reflects_load(self, env):
+        link = SharedBandwidth(env, rate=100.0)
+        assert link.estimated_time(100.0) == pytest.approx(1.0)
+        link.transfer(1000.0)
+        assert link.estimated_time(100.0) == pytest.approx(2.0)
+
+    def test_active_transfers_counter(self, env):
+        link = SharedBandwidth(env, rate=1.0)
+        link.transfer(100.0)
+        link.transfer(100.0)
+        assert link.active_transfers == 2

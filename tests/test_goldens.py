@@ -1,0 +1,67 @@
+"""Golden regression values: placement must never silently change.
+
+A cache deployment survives library upgrades only if placement is stable:
+if these hashes or owner assignments ever change, every deployed cache's
+contents are effectively invalidated.  The values below were computed at
+release 1.0.0 and are load-bearing — do not "fix" a failure here by
+updating the golden without bumping the major version and saying so in
+the changelog.
+"""
+
+import numpy as np
+
+from repro.core import HashRing, StaticHash, bulk_hash64, hash64, hash_unit
+from repro.core.replication import salt_hash
+
+
+class TestHashGoldens:
+    def test_string_hash_goldens(self):
+        assert hash64("") == 13020603013274838756
+        assert hash64("/cosmoUniverse/train/sample_00000042.tfrecord") == 13346539786974833259
+        assert hash64("node-0#vn0") == 14015222480919800785
+
+    def test_int_hash_goldens(self):
+        assert hash64(0) == 16294208416658607535
+        assert hash64(42) == 13679457532755275413
+        assert hash64(524287) == 18216104033865730270
+
+    def test_algo_goldens(self):
+        assert hash64("abc", "md5") == 12704604231530709392
+        assert hash64("abc", "sha1") == 7674422142938552745
+        assert hash64("abc", "fnv1a") == 16654208175385433931
+
+    def test_unit_interval_golden(self):
+        assert abs(hash_unit("file E") - 0.9652323570649374) < 1e-15
+
+    def test_salt_hash_golden(self):
+        assert salt_hash(12345, 1) == 9752034893663220435
+
+
+class TestPlacementGoldens:
+    def test_ring_owner_goldens(self):
+        ring = HashRing(nodes=range(16), vnodes_per_node=100)
+        assert ring.lookup("/d/sample_000000") == 9
+        assert ring.lookup("/d/sample_000001") == 14
+        assert ring.lookup(0) == 9
+        assert ring.lookup(99999) == 10
+
+    def test_ring_bulk_owner_golden_checksum(self):
+        ring = HashRing(nodes=range(64), vnodes_per_node=100)
+        owners = ring.lookup_hashes(bulk_hash64(np.arange(10_000))).astype(np.int64)
+        # Order-sensitive checksum of the full assignment vector.
+        checksum = int((owners * np.arange(1, 10_001)).sum() % 1_000_000_007)
+        assert checksum == 544987721
+
+    def test_static_hash_golden(self):
+        sh = StaticHash(nodes=range(8))
+        assert [sh.lookup(i) for i in range(6)] == [
+            sh.lookup_hash(hash64(i)) for i in range(6)
+        ]
+        assert sh.lookup(0) == hash64(0) % 8
+
+    def test_vnode_position_golden(self):
+        ring = HashRing(nodes=[0], vnodes_per_node=3)
+        positions = sorted(int(p) for p in ring.vnode_positions(0))
+        assert positions == sorted(
+            hash64(f"0#vn{r}") for r in range(3)
+        )

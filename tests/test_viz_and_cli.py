@@ -1,0 +1,124 @@
+"""Tests for terminal charts, the report helpers, and the experiments CLI."""
+
+import math
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.experiments.report import heading, minutes, pct, render_series, render_table
+from repro.viz import bar_chart, histogram, line_plot
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[2] and "2" in lines[2]
+        # Max value fills the full width.
+        assert "█" * 10 in lines[2]
+
+    def test_zero_values(self):
+        out = bar_chart(["x"], [0.0], width=5)
+        assert "x" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_unit_suffix(self):
+        assert "3 min" in bar_chart(["a"], [3.0], unit=" min")
+
+    def test_empty(self):
+        assert bar_chart([], [], title="empty") == "empty"
+
+
+class TestLinePlot:
+    def test_renders_markers_and_legend(self):
+        out = line_plot({"up": ([0, 1, 2], [0, 1, 2]), "down": ([0, 1, 2], [2, 1, 0])})
+        assert "●" in out and "○" in out
+        assert "up" in out and "down" in out
+
+    def test_nan_skipped(self):
+        out = line_plot({"s": ([0, 1, 2], [1.0, math.nan, 3.0])})
+        assert "●" in out
+
+    def test_constant_series(self):
+        out = line_plot({"flat": ([0, 1], [5.0, 5.0])})
+        assert "5" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": ([0, 1], [1.0])})
+
+    def test_empty(self):
+        assert line_plot({}, title="t") == "t"
+        assert line_plot({"s": ([], [])}, title="t") == "t"
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        out = histogram([1, 1, 2, 3, 3, 3], bins=3, title="h")
+        assert out.splitlines()[0] == "h"
+        # 3 appears as the tallest bin count
+        assert "3" in out
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+    def test_all_nan(self):
+        assert histogram([math.nan], title="t") == "t"
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        out = render_table(["col", "x"], [("a", 1), ("long-cell", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert "long-cell" in lines[3]
+        # Separator spans column widths.
+        assert set(lines[1].replace("  ", "")) == {"-"}
+
+    def test_render_series(self):
+        out = render_series("s", [1, 2], ["a", "b"])
+        assert "s:" in out and "1: a" in out
+
+    def test_heading(self):
+        out = heading("Title")
+        assert out == "Title\n====="
+
+    def test_pct_and_minutes(self):
+        assert pct(12.345) == "12.3%"
+        assert minutes(120.0) == "2.0 min"
+
+
+class TestExperimentsCLI:
+    def test_table1(self, capsys):
+        assert experiments_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "181933" in out
+
+    def test_fig6b_smoke_with_chart(self, capsys):
+        assert experiments_main(["fig6b", "--scale", "smoke", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6(b)" in out
+        assert "█" in out  # the chart rendered
+
+    def test_fig1_with_chart(self, capsys):
+        assert experiments_main(["fig1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "NODE_FAIL" in out and "┤" in out
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["table1", "--scale", "galactic"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])
