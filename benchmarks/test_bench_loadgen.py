@@ -1,0 +1,82 @@
+"""Loadgen smoke bench: sustained traffic + one mid-run kill, timed once.
+
+Seeds the repo's service-level perf trajectory: the printed per-phase
+rows (throughput, p50/p99/p99.9) are the artifact; the benchmark clock
+wraps the whole scenario.  Run with ``-s`` to see the rows, or
+``python -m repro.loadgen`` for the standalone CLI with a JSON artifact.
+"""
+
+import pytest
+
+from repro.loadgen import ChaosEvent, DriverConfig, PhaseSpec, Scenario, Workload, WorkloadSpec
+from repro.loadgen.__main__ import PHASE_HEADER, render_phase_line
+from repro.runtime import LocalCluster
+
+from conftest import run_once
+
+
+class TestLoadgenSmoke:
+    def test_three_servers_one_kill(self, benchmark):
+        def run():
+            with LocalCluster(n_servers=3, policy="elastic", ttl=0.2, timeout_threshold=2) as cluster:
+                workload = Workload(WorkloadSpec(n_files=32, file_bytes=8192, read_fraction=0.9, seed=2024))
+                scenario = Scenario(
+                    cluster,
+                    workload,
+                    phases=[
+                        PhaseSpec(name="warmup", duration=0.5, driver=DriverConfig(workers=2)),
+                        PhaseSpec(name="steady", duration=1.0, driver=DriverConfig(workers=4)),
+                        PhaseSpec(
+                            name="chaos",
+                            duration=1.5,
+                            driver=DriverConfig(workers=4),
+                            chaos=(
+                                ChaosEvent(at=0.5, action="kill"),
+                                ChaosEvent(at=1.1, action="restart"),
+                            ),
+                        ),
+                    ],
+                )
+                return scenario.run()
+
+        report = run_once(benchmark, run)
+        print()
+        print(PHASE_HEADER)
+        for phase in report.phases:
+            print(render_phase_line(phase))
+        totals = report.totals()
+        assert totals["errors"] == 0, "requests must re-route around the killed server"
+        assert totals["ops"] > 500
+        chaos = report.phases[-1]
+        assert any(a["action"] == "kill" for a in chaos.chaos_actions)
+        # detection stall appears in the chaos-phase tail, not in errors
+        assert chaos.result.latency.max >= 0.2
+
+    def test_open_loop_tail_under_failure(self, benchmark):
+        def run():
+            with LocalCluster(n_servers=3, policy="elastic", ttl=0.2, timeout_threshold=2) as cluster:
+                workload = Workload(WorkloadSpec(n_files=32, file_bytes=8192, seed=2024))
+                scenario = Scenario(
+                    cluster,
+                    workload,
+                    phases=[
+                        PhaseSpec(name="warmup", duration=0.5, driver=DriverConfig(workers=2)),
+                        PhaseSpec(
+                            name="chaos",
+                            duration=1.5,
+                            driver=DriverConfig(mode="open", workers=4, rate=400.0, queue_depth=128),
+                            chaos=(ChaosEvent(at=0.5, action="kill"),),
+                        ),
+                    ],
+                )
+                return scenario.run()
+
+        report = run_once(benchmark, run)
+        print()
+        print(PHASE_HEADER)
+        for phase in report.phases:
+            print(render_phase_line(phase))
+        assert report.totals()["errors"] == 0
+        chaos = report.phases[-1].result
+        if chaos.latency.count:  # p99.9 sees the detection stall; p50 does not
+            assert chaos.latency.quantile(0.5) < 0.2

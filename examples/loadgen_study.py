@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Load-test the real FT-Cache: tail latency while a server dies.
+
+Drives Zipf traffic (90 % reads) from a closed loop of worker threads
+against three socket servers, then repeats the steady phase open-loop at
+a fixed Poisson arrival rate while a server is killed and elastically
+rejoined mid-phase.  Shows the fault-tolerance story as an SLO story:
+p50 stays flat through the failure, the detection stall lives in
+p99.9/max, and not a single request errors.
+
+Run:  python examples/loadgen_study.py
+"""
+
+from repro.loadgen import ChaosEvent, DriverConfig, PhaseSpec, Scenario, Workload, WorkloadSpec
+from repro.loadgen.__main__ import PHASE_HEADER, render_phase_line
+from repro.runtime import LocalCluster
+
+
+def main() -> None:
+    with LocalCluster(n_servers=3, policy="elastic", ttl=0.25, timeout_threshold=2) as cluster:
+        workload = Workload(
+            WorkloadSpec(n_files=64, file_bytes=16384, distribution="zipf", zipf_s=1.1,
+                         read_fraction=0.9, seed=2024)
+        )
+        scenario = Scenario(
+            cluster,
+            workload,
+            phases=[
+                PhaseSpec(name="warmup", duration=1.0, driver=DriverConfig(workers=4)),
+                PhaseSpec(name="closed", duration=2.0, driver=DriverConfig(workers=4)),
+                PhaseSpec(
+                    name="open", duration=2.0,
+                    driver=DriverConfig(mode="open", workers=4, rate=500.0, queue_depth=128),
+                ),
+                PhaseSpec(
+                    name="chaos", duration=3.0,
+                    driver=DriverConfig(mode="open", workers=4, rate=500.0, queue_depth=128),
+                    chaos=(
+                        ChaosEvent(at=1.0, action="kill"),
+                        ChaosEvent(at=2.2, action="restart"),
+                    ),
+                ),
+            ],
+        )
+        print("3 servers, elastic policy, Zipf(1.1) over 64 x 16 KiB, 90% reads\n")
+        print(PHASE_HEADER)
+        report = scenario.run(on_phase=lambda p: print(render_phase_line(p), flush=True))
+
+    print()
+    for phase in report.phases:
+        for a in phase.chaos_actions:
+            print(f"chaos[{phase.name}]: t={a['t']:.2f}s {a['action']} node {a['node']}")
+    totals = report.totals()
+    print(f"\ntotals: {totals['ops']} ops, {totals['errors']} errors, {totals['shed']} shed "
+          f"({totals['throughput_ops_s']:.0f} ops/s overall)")
+    print("note: the kill shows up as a p99.9/max spike of ~ttl*threshold, never as an error —")
+    print("the client detects, re-rings, and the lost shard recaches onto the survivors.")
+
+
+if __name__ == "__main__":
+    main()

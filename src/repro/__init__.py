@@ -23,6 +23,13 @@ Package map
     Synthetic Frontier SLURM log + Section III analysis + injection.
 ``repro.runtime``
     Real threaded FT-Cache over TCP/files, sharing the same core.
+``repro.loadgen``
+    Load generation & latency benchmarking against the real runtime:
+    Zipf/uniform workloads, closed/open-loop drivers, chaos scenarios
+    (``python -m repro.loadgen``).
+``repro.metrics``
+    Counters, timelines, traces, and the mergeable log-bucketed
+    :class:`~repro.metrics.LatencyHistogram`.
 ``repro.experiments``
     One module per paper table/figure (+ ablations); also a CLI.
 

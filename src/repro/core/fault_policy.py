@@ -171,6 +171,7 @@ def make_policy(name: str, placement: PlacementPolicy) -> FaultPolicy:
         "pfs": PFSRedirect,
         "FT w/ NVMe": ElasticRecache,
         "nvme": ElasticRecache,
+        "elastic": ElasticRecache,
     }
     try:
         cls = table[name]

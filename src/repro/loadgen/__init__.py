@@ -1,0 +1,37 @@
+"""Load generation & latency benchmarking for the FT-Cache runtime.
+
+Drives real request traffic (Zipf/uniform popularity, read/write mix)
+against a :class:`~repro.runtime.cluster.LocalCluster` of socket servers
+with closed-loop or open-loop (Poisson) injection, composes warm-up /
+steady-state / chaos phases, and reports throughput plus HDR-style
+latency percentiles per phase.  ``python -m repro.loadgen --help`` is the
+operational entry point; the classes below are the library API.
+"""
+
+from .workload import Op, Workload, WorkloadSpec
+from .drivers import (
+    ClosedLoopDriver,
+    DriverConfig,
+    DriverResult,
+    HookRecorder,
+    OpenLoopDriver,
+    make_driver,
+)
+from .scenario import ChaosEvent, PhaseReport, PhaseSpec, Scenario, ScenarioReport
+
+__all__ = [
+    "Op",
+    "Workload",
+    "WorkloadSpec",
+    "DriverConfig",
+    "DriverResult",
+    "HookRecorder",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "make_driver",
+    "ChaosEvent",
+    "PhaseSpec",
+    "PhaseReport",
+    "Scenario",
+    "ScenarioReport",
+]

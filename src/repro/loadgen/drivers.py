@@ -1,0 +1,320 @@
+"""Closed- and open-loop load drivers over the fault-tolerant client.
+
+Two injection disciplines, because they answer different questions:
+
+* **Closed loop** — ``workers`` threads, each issuing its next request the
+  moment the previous one completes.  Measures *capacity*: the throughput
+  the cluster sustains at a fixed concurrency.  Latency under a failure
+  is honest here (a stalled worker stops offering load — coordinated
+  omission in the classic sense), which is why the open loop exists.
+* **Open loop** — requests arrive on a Poisson schedule at a configured
+  ``rate`` regardless of how fast earlier ones finish, queue into a
+  bounded buffer, and are served by a worker pool.  Latency is measured
+  from *scheduled arrival* to completion, so detection stalls and
+  re-routes show up in the tail instead of silently thinning the load.
+  When the queue is full the ``backpressure`` policy decides: ``"shed"``
+  drops the arrival (counted, like a load balancer returning 503) or
+  ``"block"`` stalls the arrival process (degrading toward closed-loop).
+
+Both drivers time every request through the client's ``on_op`` hook (pure
+service time) *and* at the worker (end-to-end, queue wait included), into
+per-thread :class:`~repro.metrics.LatencyHistogram` parts merged after the
+run — no shared mutable state on the hot path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.fault_policy import UnrecoverableNodeFailure
+from ..metrics import LatencyHistogram
+from ..runtime.client import FTCacheClient, ReadError
+from ..runtime.protocol import ProtocolError
+from .workload import Op, Workload
+
+__all__ = ["DriverConfig", "DriverResult", "HookRecorder", "ClosedLoopDriver", "OpenLoopDriver", "make_driver"]
+
+#: rng stream id for the open-loop arrival process (distinct from workers)
+_ARRIVAL_STREAM_ID = 10_000
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """How traffic is injected (the *supply* side of a load test)."""
+
+    mode: str = "closed"  # "closed" | "open"
+    workers: int = 4
+    #: open loop: mean Poisson arrival rate, requests/second
+    rate: float = 200.0
+    #: open loop: bounded arrival queue depth
+    queue_depth: int = 64
+    #: open loop overload policy: "shed" (drop + count) | "block"
+    backpressure: str = "shed"
+    #: ops drawn per sampler refill (amortises rng cost; no behaviour change)
+    batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.backpressure not in ("shed", "block"):
+            raise ValueError("backpressure must be 'shed' or 'block'")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "rate": self.rate,
+            "queue_depth": self.queue_depth,
+            "backpressure": self.backpressure,
+        }
+
+
+class HookRecorder:
+    """``FTCacheClient.on_op`` callback: lock-free per-thread recording.
+
+    Each calling thread lazily gets its own (histogram, outcome-counter)
+    slot; :meth:`service_histogram` / :meth:`outcome_counts` merge the
+    slots after the run.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._parts: list[tuple[LatencyHistogram, Counter]] = []
+        self._lock = threading.Lock()
+
+    def _slot(self) -> tuple[LatencyHistogram, Counter]:
+        slot = getattr(self._local, "slot", None)
+        if slot is None:
+            slot = (LatencyHistogram(), Counter())
+            self._local.slot = slot
+            with self._lock:
+                self._parts.append(slot)
+        return slot
+
+    def __call__(self, op: str, path: str, seconds: float, outcome: str) -> None:
+        hist, counts = self._slot()
+        hist.record(seconds)
+        counts[f"{op}:{outcome}"] += 1
+
+    def service_histogram(self) -> LatencyHistogram:
+        with self._lock:
+            return LatencyHistogram.merged([h for h, _ in self._parts])
+
+    def outcome_counts(self) -> dict[str, int]:
+        total: Counter = Counter()
+        with self._lock:
+            for _, c in self._parts:
+                total.update(c)
+        return dict(total)
+
+
+@dataclass
+class DriverResult:
+    """Aggregate of one driver run (one scenario phase)."""
+
+    mode: str
+    duration_s: float
+    ops: int = 0
+    errors: int = 0
+    #: open loop only: arrivals offered / dropped by backpressure
+    offered: int = 0
+    shed: int = 0
+    #: end-to-end latency (open loop: includes queue wait)
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: pure service time, from the client's on_op hook
+    service: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: "read:cache" / "read:pfs" / "read:pfs_direct" / "write:ok" / ...
+    outcomes: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.ops / self.duration_s if self.duration_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        reads = sum(v for k, v in self.outcomes.items() if k.startswith("read:"))
+        hits = self.outcomes.get("read:cache", 0)
+        return {
+            "mode": self.mode,
+            "duration_s": self.duration_s,
+            "ops": self.ops,
+            "throughput_ops_s": self.throughput,
+            "errors": self.errors,
+            "offered": self.offered,
+            "shed": self.shed,
+            "client_hit_rate": hits / reads if reads else None,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "latency": self.latency.to_dict() if self.latency.count else None,
+            "service_latency": self.service.to_dict() if self.service.count else None,
+        }
+
+
+def _execute(client: FTCacheClient, op: Op) -> bool:
+    """Run one op; True on success.  Failure-policy aborts count as errors."""
+    try:
+        if op.kind == "read":
+            client.read(op.path)
+        else:
+            client.write(op.path, b"\x5a" * op.size)
+        return True
+    except (ReadError, UnrecoverableNodeFailure, ProtocolError, OSError):
+        return False
+
+
+class _DriverBase:
+    def __init__(self, client: FTCacheClient, workload: Workload, config: DriverConfig):
+        self.client = client
+        self.workload = workload
+        self.config = config
+
+    def run(self, duration: float, stream: int = 0) -> DriverResult:
+        """Drive traffic for ``duration`` seconds; ``stream`` decorrelates phases."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        recorder = HookRecorder()
+        prev_hook = self.client.on_op
+        self.client.on_op = recorder
+        t0 = time.monotonic()
+        try:
+            result = self._drive(duration, stream)
+        finally:
+            self.client.on_op = prev_hook
+        result.duration_s = time.monotonic() - t0
+        result.service = recorder.service_histogram()
+        result.outcomes = recorder.outcome_counts()
+        return result
+
+    def _drive(self, duration: float, stream: int) -> DriverResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ClosedLoopDriver(_DriverBase):
+    """``workers`` threads in think-time-free request loops."""
+
+    def _drive(self, duration: float, stream: int) -> DriverResult:
+        deadline = time.monotonic() + duration
+        parts: list[tuple[LatencyHistogram, int, int]] = [None] * self.config.workers  # type: ignore[list-item]
+
+        def _worker(wid: int) -> None:
+            rng = self.workload.worker_rng(wid, stream)
+            hist = LatencyHistogram()
+            ops = errors = 0
+            buf: list[Op] = []
+            while time.monotonic() < deadline:
+                if not buf:
+                    buf = self.workload.batch(rng, self.config.batch)
+                    buf.reverse()  # pop() consumes in drawn order
+                op = buf.pop()
+                t_start = time.monotonic()
+                ok = _execute(self.client, op)
+                hist.record(time.monotonic() - t_start)
+                ops += 1
+                errors += 0 if ok else 1
+            parts[wid] = (hist, ops, errors)
+
+        threads = [
+            threading.Thread(target=_worker, args=(wid,), name=f"loadgen-closed-{wid}", daemon=True)
+            for wid in range(self.config.workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        result = DriverResult(mode="closed", duration_s=duration)
+        for hist, ops, errors in parts:
+            result.latency.merge(hist)
+            result.ops += ops
+            result.errors += errors
+        return result
+
+
+class OpenLoopDriver(_DriverBase):
+    """Poisson arrivals into a bounded queue served by a worker pool."""
+
+    def _drive(self, duration: float, stream: int) -> DriverResult:
+        cfg = self.config
+        q: "queue.Queue[Optional[tuple[Op, float]]]" = queue.Queue(maxsize=cfg.queue_depth)
+        parts: list[tuple[LatencyHistogram, int, int]] = [None] * cfg.workers  # type: ignore[list-item]
+
+        def _worker(wid: int) -> None:
+            hist = LatencyHistogram()
+            ops = errors = 0
+            while True:
+                item = q.get()
+                if item is None:
+                    break
+                op, arrived = item
+                ok = _execute(self.client, op)
+                hist.record(time.monotonic() - arrived)
+                ops += 1
+                errors += 0 if ok else 1
+            parts[wid] = (hist, ops, errors)
+
+        threads = [
+            threading.Thread(target=_worker, args=(wid,), name=f"loadgen-open-{wid}", daemon=True)
+            for wid in range(cfg.workers)
+        ]
+        for t in threads:
+            t.start()
+
+        # Arrival process (this thread): deterministic Poisson schedule.
+        rng = self.workload.worker_rng(_ARRIVAL_STREAM_ID, stream)
+        start = time.monotonic()
+        deadline = start + duration
+        t_next = start + float(rng.exponential(1.0 / cfg.rate))
+        offered = shed = 0
+        buf: list[Op] = []
+        while t_next < deadline:
+            delay = t_next - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            if not buf:
+                buf = self.workload.batch(rng, cfg.batch)
+                buf.reverse()
+            op = buf.pop()
+            offered += 1
+            item = (op, t_next)
+            if cfg.backpressure == "block":
+                while True:  # block, but keep honouring the deadline
+                    try:
+                        q.put(item, timeout=0.05)
+                        break
+                    except queue.Full:
+                        if time.monotonic() >= deadline:
+                            shed += 1
+                            break
+            else:
+                try:
+                    q.put_nowait(item)
+                except queue.Full:
+                    shed += 1
+            t_next += float(rng.exponential(1.0 / cfg.rate))
+
+        for _ in threads:  # sentinels after the admitted backlog drains
+            q.put(None)
+        for t in threads:
+            t.join()
+
+        result = DriverResult(mode="open", duration_s=duration, offered=offered, shed=shed)
+        for hist, ops, errors in parts:
+            result.latency.merge(hist)
+            result.ops += ops
+            result.errors += errors
+        return result
+
+
+def make_driver(client: FTCacheClient, workload: Workload, config: DriverConfig) -> _DriverBase:
+    cls = ClosedLoopDriver if config.mode == "closed" else OpenLoopDriver
+    return cls(client, workload, config)

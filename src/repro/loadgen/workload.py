@@ -1,0 +1,144 @@
+"""Workload model: key popularity, value sizes, and read/write mix.
+
+A :class:`Workload` is the *demand* side of a load test, fully determined
+by its :class:`WorkloadSpec` and a seed: a synthetic corpus of files (the
+supply the cache serves), a popularity distribution over those files
+(Zipf — the shape real training-data and KV traffic follows — or
+uniform), and a read/write mix.  Popularity ranks are assigned to a
+seed-shuffled permutation of the corpus so the hot keys land on different
+cache servers from run shape to run shape instead of clustering on
+whichever server owns the lexicographically-first paths.
+
+Sampling is vectorised: drivers pull :meth:`Workload.batch` chunks and
+each worker thread owns an independent ``numpy`` generator, so two runs
+with the same seed and worker count issue byte-identical op sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..runtime.storage import PFSDir
+
+__all__ = ["Op", "WorkloadSpec", "Workload"]
+
+DISTRIBUTIONS = ("zipf", "uniform")
+SIZE_MODELS = ("fixed", "lognormal")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One generated request."""
+
+    kind: str  # "read" | "write"
+    path: str
+    size: int  # bytes (the entry's size; writes re-write the same size)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of the offered traffic."""
+
+    n_files: int = 64
+    file_bytes: int = 16384
+    #: key-popularity model over the corpus
+    distribution: str = "zipf"
+    #: Zipf exponent (1.0–1.3 covers most measured cache traces)
+    zipf_s: float = 1.1
+    #: fraction of ops that are reads (rest are durable writes)
+    read_fraction: float = 1.0
+    #: value-size model: "fixed" or "lognormal" around ``file_bytes``
+    size_model: str = "fixed"
+    #: lognormal shape (sigma of underlying normal); ignored for "fixed"
+    size_sigma: float = 0.5
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.n_files < 1:
+            raise ValueError("n_files must be >= 1")
+        if self.file_bytes < 1:
+            raise ValueError("file_bytes must be >= 1")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(f"distribution must be one of {DISTRIBUTIONS}")
+        if self.size_model not in SIZE_MODELS:
+            raise ValueError(f"size_model must be one of {SIZE_MODELS}")
+        if not (0.0 <= self.read_fraction <= 1.0):
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "n_files": self.n_files,
+            "file_bytes": self.file_bytes,
+            "distribution": self.distribution,
+            "zipf_s": self.zipf_s,
+            "read_fraction": self.read_fraction,
+            "size_model": self.size_model,
+            "size_sigma": self.size_sigma,
+            "seed": self.seed,
+        }
+
+
+class Workload:
+    """Samplable request stream over a synthetic corpus."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        rng = np.random.default_rng(spec.seed)
+        self.paths = [f"/dataset/train/sample_{i:06d}.bin" for i in range(spec.n_files)]
+        if spec.size_model == "fixed":
+            self.sizes = np.full(spec.n_files, spec.file_bytes, dtype=np.int64)
+        else:
+            # lognormal with mean ≈ file_bytes: shift mu by -sigma^2/2
+            mu = np.log(spec.file_bytes) - spec.size_sigma**2 / 2.0
+            raw = rng.lognormal(mean=mu, sigma=spec.size_sigma, size=spec.n_files)
+            self.sizes = np.maximum(1, raw.round()).astype(np.int64)
+        # Popularity: rank r gets weight 1/r^s, ranks assigned to a shuffled
+        # permutation so hot keys spread across the hash ring.
+        if spec.distribution == "zipf":
+            weights = 1.0 / np.arange(1, spec.n_files + 1, dtype=np.float64) ** spec.zipf_s
+        else:
+            weights = np.ones(spec.n_files, dtype=np.float64)
+        perm = rng.permutation(spec.n_files)
+        probs = np.empty(spec.n_files, dtype=np.float64)
+        probs[perm] = weights / weights.sum()
+        self.probs = probs
+        self._cum = np.cumsum(probs)
+        self._cum[-1] = 1.0  # guard against float drift
+
+    # -- corpus ------------------------------------------------------------------------
+    def total_corpus_bytes(self) -> int:
+        return int(self.sizes.sum())
+
+    def materialize(self, pfs: PFSDir) -> list[str]:
+        """Write the corpus into the PFS directory; returns the paths."""
+        rng = np.random.default_rng(self.spec.seed)
+        for path, size in zip(self.paths, self.sizes):
+            pfs.write(path, rng.bytes(int(size)))
+        return list(self.paths)
+
+    # -- sampling ----------------------------------------------------------------------
+    def worker_rng(self, worker_id: int, stream: int = 0) -> np.random.Generator:
+        """Independent, reproducible generator for one worker thread."""
+        return np.random.default_rng((self.spec.seed, stream, worker_id))
+
+    def batch(self, rng: np.random.Generator, k: int) -> list[Op]:
+        """Draw ``k`` ops (vectorised; O(k log n))."""
+        idx = np.searchsorted(self._cum, rng.random(k), side="right")
+        reads = rng.random(k) < self.spec.read_fraction
+        return [
+            Op(
+                kind="read" if is_read else "write",
+                path=self.paths[i],
+                size=int(self.sizes[i]),
+            )
+            for i, is_read in zip(idx, reads)
+        ]
+
+    def expected_hot_fraction(self, top_k: int = 1) -> float:
+        """Probability mass on the ``top_k`` most popular keys (for tests)."""
+        return float(np.sort(self.probs)[::-1][:top_k].sum())

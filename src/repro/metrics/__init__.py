@@ -1,6 +1,7 @@
 """Metrics: counters, run timelines, and summary statistics."""
 
 from .collector import MetricsCollector
+from .histogram import LatencyHistogram
 from .stats import Summary, percent_change, speedup, summarize
 from .timeline import EpochRecord, FailureRecord, Timeline
 from .run_report import render_run_report
@@ -8,6 +9,7 @@ from .trace import Span, TraceAnalysis, Tracer
 
 __all__ = [
     "MetricsCollector",
+    "LatencyHistogram",
     "Summary",
     "percent_change",
     "speedup",

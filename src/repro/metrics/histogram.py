@@ -1,0 +1,188 @@
+"""Log-bucketed latency histogram (HDR-style, mergeable).
+
+Service-level latency spans four-plus orders of magnitude — a cache hit
+is microseconds, a TTL-detected failover is the better part of a second —
+so fixed-width bins are useless and storing every sample is wasteful
+under sustained load.  :class:`LatencyHistogram` keeps counts in buckets
+whose edges grow geometrically (``buckets_per_decade`` per factor of 10),
+bounding the *relative* error of any reported quantile by one bucket
+width: with the default 40 buckets/decade every percentile is within
+~5.9 % of the exact sorted-array answer.
+
+Recording is O(1) and allocation-free; histograms with identical bucket
+geometry :meth:`merge` by summing counts, so each load-generator worker
+records into a private histogram and the scenario layer folds them
+together afterwards — no lock on the hot path.  Exact ``min``/``max``/
+``sum`` are tracked alongside the buckets (tails matter; p100 should not
+be quantised).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["LatencyHistogram"]
+
+#: quantiles reported by :meth:`LatencyHistogram.percentiles`
+_STANDARD_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999))
+
+
+class LatencyHistogram:
+    """Mergeable log-bucketed histogram of positive values (seconds).
+
+    ``min_value``/``max_value`` bound the resolvable range; values outside
+    are clamped into the first/last bucket (count and exact min/max are
+    still correct).  Not thread-safe by design — use one per worker and
+    :meth:`merge`.
+    """
+
+    def __init__(
+        self,
+        min_value: float = 1e-6,
+        max_value: float = 100.0,
+        buckets_per_decade: int = 40,
+    ):
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(self.max_value / self.min_value)
+        self._n_buckets = max(1, math.ceil(decades * self.buckets_per_decade))
+        self._counts = [0] * self._n_buckets
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording -------------------------------------------------------------------
+    def _bucket_of(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        idx = int(math.log10(value / self.min_value) * self.buckets_per_decade)
+        return min(idx, self._n_buckets - 1)
+
+    def record(self, value: float) -> None:
+        """Record one observation (must be finite and >= 0)."""
+        if not (value >= 0.0 and math.isfinite(value)):
+            raise ValueError(f"cannot record {value!r}")
+        self._counts[self._bucket_of(value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    # -- bucket geometry ---------------------------------------------------------------
+    def bucket_edges(self, index: int) -> tuple[float, float]:
+        """``[low, high)`` value range of bucket ``index``."""
+        if not (0 <= index < self._n_buckets):
+            raise IndexError(index)
+        step = 1.0 / self.buckets_per_decade
+        lo = self.min_value * 10.0 ** (index * step)
+        hi = self.min_value * 10.0 ** ((index + 1) * step)
+        return lo, hi
+
+    @property
+    def relative_error_bound(self) -> float:
+        """Worst-case ratio between a reported quantile and the exact one."""
+        return 10.0 ** (1.0 / self.buckets_per_decade)
+
+    def _compatible(self, other: "LatencyHistogram") -> bool:
+        return (
+            self.min_value == other.min_value
+            and self.max_value == other.max_value
+            and self.buckets_per_decade == other.buckets_per_decade
+        )
+
+    # -- queries -----------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], within one bucket width of exact.
+
+        Returns the upper edge of the bucket holding the ``ceil(q*count)``-th
+        smallest sample (clamped to the exact max), so the estimate never
+        under-reports — the conservative direction for an SLO.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            raise ValueError("empty histogram has no quantiles")
+        if q == 0.0:
+            return self.min
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank:
+                _, hi = self.bucket_edges(i)
+                return min(hi, self.max)
+        return self.max  # pragma: no cover - rank <= count always lands above
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard service-level summary (p50/p90/p99/p99.9 + extremes)."""
+        if self.count == 0:
+            return {"count": 0}
+        out: dict[str, float] = {name: self.quantile(q) for name, q in _STANDARD_QUANTILES}
+        out["min"] = self.min
+        out["max"] = self.max
+        out["mean"] = self.mean
+        out["count"] = self.count
+        return out
+
+    # -- merge / export ----------------------------------------------------------------
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram (identical geometry required).
+
+        Equivalent to having recorded both streams into one histogram.
+        """
+        if not self._compatible(other):
+            raise ValueError("cannot merge histograms with different bucket geometry")
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    @classmethod
+    def merged(cls, parts: Sequence["LatencyHistogram"]) -> "LatencyHistogram":
+        """A fresh histogram equal to all ``parts`` folded together."""
+        if not parts:
+            return cls()
+        out = cls(parts[0].min_value, parts[0].max_value, parts[0].buckets_per_decade)
+        for p in parts:
+            out.merge(p)
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (percentiles, not raw buckets)."""
+        return {
+            "unit": "seconds",
+            "buckets_per_decade": self.buckets_per_decade,
+            **{k: v for k, v in self.percentiles().items()},
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return "LatencyHistogram(empty)"
+        p = self.percentiles()
+        return (
+            f"LatencyHistogram(n={self.count}, p50={p['p50']:.6f}, "
+            f"p99={p['p99']:.6f}, max={p['max']:.6f})"
+        )

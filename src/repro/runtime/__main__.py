@@ -119,7 +119,8 @@ def cmd_stat(args: argparse.Namespace) -> int:
     h = resp.header
     print(f"node {h.get('node_id')}: {h.get('cached_entries')} entries, "
           f"{h.get('cached_bytes', 0) / 1e6:.1f} MB cached, "
-          f"{h.get('hits')} hits / {h.get('misses')} misses")
+          f"{h.get('hits')} hits / {h.get('misses')} misses, "
+          f"{h.get('evictions', 0)} evictions")
     return 0
 
 

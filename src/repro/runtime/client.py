@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Hashable, Optional
+import time
+from typing import Callable, Hashable, Optional
 
 from ..core.failure_detector import TimeoutFailureDetector
 from ..core.fault_policy import FaultPolicy
@@ -54,13 +55,24 @@ class FTCacheClient:
         ttl: float = 1.0,
         timeout_threshold: int = 3,
         max_reroute_rounds: int = 32,
+        on_op: Optional[Callable[[str, str, float, str], None]] = None,
     ):
-        """``servers`` maps node id → ``(host, port)``."""
+        """``servers`` maps node id → ``(host, port)``.
+
+        ``on_op(op, path, seconds, outcome)`` — if given — is invoked after
+        every completed top-level operation with its wall-clock duration:
+        ``op`` is ``"read"``/``"write"``; ``outcome`` is the serving source
+        (``"cache"``/``"pfs"``/``"pfs_direct"``), ``"ok"`` for writes, or
+        ``"error"`` when the call raised.  The load generator uses this to
+        time requests end-to-end, including detection stalls and re-routes.
+        The callback runs on the calling thread and must be cheap.
+        """
         self.servers = dict(servers)
         self.policy = policy
         self.pfs = pfs
         self.detector = TimeoutFailureDetector(ttl=ttl, threshold=timeout_threshold)
         self.max_reroute_rounds = max_reroute_rounds
+        self.on_op = on_op
         self._pool = _ConnectionPool()
         self._policy_lock = threading.Lock()
         self.stats = {
@@ -70,6 +82,8 @@ class FTCacheClient:
             "declared": 0,
             "failovers": 0,
             "replica_pushes": 0,
+            "writes": 0,
+            "cache_installs": 0,
         }
         self._stats_lock = threading.Lock()
 
@@ -83,11 +97,21 @@ class FTCacheClient:
         declaration), and any bytes that had to come from the PFS are
         pushed to the remaining replicas in the background.
         """
+        t0 = time.perf_counter()
+        try:
+            data, source = self._read_routed(path)
+        except Exception:
+            self._notify("read", path, time.perf_counter() - t0, "error")
+            raise
+        self._notify("read", path, time.perf_counter() - t0, source)
+        return data
+
+    def _read_routed(self, path: str) -> tuple[bytes, str]:
         for _ in range(self.max_reroute_rounds):
             candidates = self._candidates(path)
             if candidates is None:  # policy says PFS
                 self._bump(pfs_direct_reads=1)
-                return self.pfs.read(path)
+                return self.pfs.read(path), "pfs_direct"
             for i, node in enumerate(candidates):
                 if i > 0:
                     self._bump(failovers=1)
@@ -96,7 +120,7 @@ class FTCacheClient:
                     data, source = outcome
                     if source == "pfs":
                         self._push_replicas(path, data, served_by=node)
-                    return data
+                    return data, source
                 # timeout / refused: feed the detector and maybe declare.
                 self._bump(timeouts=1)
                 if self.detector.record_timeout(node):
@@ -105,6 +129,49 @@ class FTCacheClient:
                         # NoFT raises UnrecoverableNodeFailure out of here.
                         self.policy.on_node_failed(node)
         raise ReadError(f"could not read {path!r} after {self.max_reroute_rounds} attempts")
+
+    def write(self, path: str, data: bytes) -> None:
+        """Write one file: durable to the PFS, write-through to the cache.
+
+        The PFS is the source of truth, so the durable write can never be
+        lost to a node failure; the cache install on the owning server is
+        best-effort (a timeout feeds the failure detector exactly like a
+        read, so sustained write traffic also detects dead nodes, but the
+        write itself still succeeds — the next read misses to the PFS).
+        """
+        t0 = time.perf_counter()
+        try:
+            self.pfs.write(path, data)
+            self._bump(writes=1)
+            self._install_in_cache(path, data)
+        except Exception:
+            self._notify("write", path, time.perf_counter() - t0, "error")
+            raise
+        self._notify("write", path, time.perf_counter() - t0, "ok")
+
+    def _install_in_cache(self, path: str, data: bytes) -> None:
+        """Best-effort synchronous OP_PUT of fresh bytes to the owner node."""
+        candidates = self._candidates(path)
+        if not candidates:
+            return
+        node = candidates[0]
+        try:
+            sock = self._connect(node)
+            msg = Message.request(OP_PUT, path=path)
+            msg.payload = data
+            send_message(sock, msg)
+            resp = recv_message(sock)
+        except (socket.timeout, TimeoutError, ConnectionError, OSError):
+            self._drop_conn(node)
+            self._bump(timeouts=1)
+            if self.detector.record_timeout(node):
+                self._bump(declared=1)
+                with self._policy_lock:
+                    self.policy.on_node_failed(node)
+            return
+        if resp.ok:
+            self.detector.record_success(node)
+            self._bump(cache_installs=1)
 
     def _candidates(self, path: str) -> Optional[list]:
         """Ordered server targets for this read, or None for direct PFS."""
@@ -174,6 +241,10 @@ class FTCacheClient:
             return None
 
     # -- internals -----------------------------------------------------------------
+    def _notify(self, op: str, path: str, seconds: float, outcome: str) -> None:
+        if self.on_op is not None:
+            self.on_op(op, path, seconds, outcome)
+
     def _bump(self, **deltas: int) -> None:
         with self._stats_lock:
             for k, d in deltas.items():

@@ -66,10 +66,13 @@ class LocalCluster:
         self.vnodes_per_node = vnodes_per_node
         self.paths: list[str] = []
         self._clients: list[FTCacheClient] = []
+        #: counters of server instances retired by restart_server, so
+        #: cluster-wide totals stay monotone across repairs
+        self._retired_stats = {k: 0 for k in ("hits", "misses", "pfs_reads", "recached", "errors", "evictions")}
 
     # -- construction helpers ---------------------------------------------------------
     def _make_placement(self):
-        if self.policy_name in ("FT w/ NVMe", "nvme", "replicated", "FT w/ NVMe (replicated)"):
+        if self.policy_name in ("FT w/ NVMe", "nvme", "elastic", "replicated", "FT w/ NVMe (replicated)"):
             return HashRing(nodes=sorted(self.servers), vnodes_per_node=self.vnodes_per_node)
         return StaticHash(nodes=sorted(self.servers))
 
@@ -123,7 +126,10 @@ class LocalCluster:
         """
         old = self.servers[node_id]
         old.close()
-        nvme = NVMeDir(old.nvme.root)  # rescans surviving entries
+        for k in ("hits", "misses", "pfs_reads", "recached", "errors"):
+            self._retired_stats[k] += getattr(old.stats, k)
+        self._retired_stats["evictions"] += old.nvme.evictions
+        nvme = NVMeDir(old.nvme.root, capacity_bytes=old.nvme.capacity_bytes)  # rescans surviving entries
         fresh = FTCacheServer(node_id, nvme, self.pfs).start()
         self.servers[node_id] = fresh
         if notify_clients:
@@ -136,10 +142,29 @@ class LocalCluster:
         return [i for i, s in self.servers.items() if s.alive]
 
     def total_stats(self) -> dict:
-        out = {"hits": 0, "misses": 0, "pfs_reads": 0, "recached": 0, "errors": 0}
+        out = dict(self._retired_stats)
         for s in self.servers.values():
-            for k in out:
+            for k in ("hits", "misses", "pfs_reads", "recached", "errors"):
                 out[k] += getattr(s.stats, k)
+            out["evictions"] += s.nvme.evictions
+        return out
+
+    def server_snapshots(self) -> dict[int, dict]:
+        """Per-server occupancy/traffic snapshot (in-process OP_STAT twin)."""
+        out: dict[int, dict] = {}
+        for i, s in self.servers.items():
+            out[i] = {
+                "alive": s.alive,
+                "cached_entries": s.nvme.entry_count(),
+                "cached_bytes": s.nvme.used_bytes,
+                "capacity_bytes": s.nvme.capacity_bytes,
+                "hits": s.stats.hits,
+                "misses": s.stats.misses,
+                "pfs_reads": s.stats.pfs_reads,
+                "recached": s.stats.recached,
+                "errors": s.stats.errors,
+                "evictions": s.nvme.evictions,
+            }
         return out
 
     # -- lifecycle -----------------------------------------------------------------------

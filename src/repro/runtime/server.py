@@ -151,8 +151,13 @@ class FTCacheServer:
                 node_id=self.node_id,
                 cached_entries=self.nvme.entry_count(),
                 cached_bytes=self.nvme.used_bytes,
+                capacity_bytes=self.nvme.capacity_bytes,
                 hits=self.stats.hits,
                 misses=self.stats.misses,
+                pfs_reads=self.stats.pfs_reads,
+                recached=self.stats.recached,
+                errors=self.stats.errors,
+                evictions=self.nvme.evictions,
             )
         if msg.op == OP_READ:
             return self._read(msg.header.get("path", ""))
@@ -190,6 +195,8 @@ class FTCacheServer:
         try:
             self.nvme.write(path, data)
         except OSError as exc:
+            # With LRU eviction this only fires for an entry larger than the
+            # whole device — capacity pressure evicts instead of refusing.
             self.stats.bump(errors=1)
             return Message.error_response(f"cache full: {exc}", code="ENOSPC")
         self.stats.bump(recached=1)

@@ -14,6 +14,7 @@ import hashlib
 import os
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
@@ -29,14 +30,29 @@ def _entry_name(key: str) -> str:
 
 
 class NVMeDir:
-    """Node-local cache directory with byte accounting and atomic writes."""
+    """Node-local cache directory: byte accounting, atomic writes, LRU eviction.
+
+    Capacity pressure evicts least-recently-used entries (same semantics as
+    the sim-side :class:`repro.hvac.cache_store.CacheStore`) instead of
+    refusing the write — only an entry larger than the whole device still
+    raises :class:`OSError`.  Readers racing an eviction see the entry
+    disappear between :meth:`contains` and :meth:`read`; callers treat the
+    resulting ``FileNotFoundError`` as a miss and fall through to the PFS.
+    """
 
     def __init__(self, root: str | Path, capacity_bytes: Optional[int] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.capacity_bytes = capacity_bytes
         self._lock = threading.Lock()
-        self._used = sum(f.stat().st_size for f in self.root.iterdir() if f.is_file())
+        self.evictions = 0
+        # Recency order for surviving entries: oldest mtime first, so a warm
+        # rejoin resumes with a sensible (if approximate) LRU order.
+        self._lru: "OrderedDict[str, int]" = OrderedDict()
+        for f in sorted(self.root.iterdir(), key=lambda f: f.stat().st_mtime):
+            if f.is_file():
+                self._lru[f.name] = f.stat().st_size
+        self._used = sum(self._lru.values())
 
     @property
     def used_bytes(self) -> int:
@@ -49,31 +65,52 @@ class NVMeDir:
         return self._path(key).exists()
 
     def read(self, key: str) -> bytes:
-        return self._path(key).read_bytes()
+        data = self._path(key).read_bytes()
+        with self._lock:  # LRU refresh on hit
+            name = _entry_name(key)
+            if name in self._lru:
+                self._lru.move_to_end(name)
+        return data
 
     def write(self, key: str, data: bytes) -> None:
-        """Atomically install a cache entry (rename from a temp file).
+        """Atomically install a cache entry, evicting LRU entries if needed.
 
         A concurrent writer of the same key is harmless: both write the
-        same bytes and the rename is atomic on POSIX.
+        same bytes and the rename is atomic on POSIX.  Raises ``OSError``
+        only for an entry that cannot fit even in an empty cache.
         """
+        if self.capacity_bytes is not None and len(data) > self.capacity_bytes:
+            raise OSError(f"entry of {len(data)} bytes exceeds cache capacity {self.capacity_bytes}")
+        name = _entry_name(key)
         with self._lock:
-            if self.capacity_bytes is not None and self._used + len(data) > self.capacity_bytes:
-                raise OSError(f"cache dir over capacity ({self._used + len(data)} bytes)")
+            old_size = self._lru.pop(name, None)
+            if old_size is not None:
+                self._used -= old_size
+            if self.capacity_bytes is not None:
+                while self._used + len(data) > self.capacity_bytes and self._lru:
+                    victim, vsize = self._lru.popitem(last=False)
+                    try:
+                        (self.root / victim).unlink()
+                    except FileNotFoundError:  # pragma: no cover - already raced away
+                        pass
+                    self._used -= vsize
+                    self.evictions += 1
+            target = self._path(key)
+            tmp = target.with_suffix(".tmp-%d" % threading.get_ident())
+            tmp.write_bytes(data)
+            os.replace(tmp, target)
+            self._lru[name] = len(data)
             self._used += len(data)
-        target = self._path(key)
-        tmp = target.with_suffix(".tmp-%d" % threading.get_ident())
-        tmp.write_bytes(data)
-        os.replace(tmp, target)
 
     def drop(self, key: str) -> None:
         path = self._path(key)
-        try:
-            size = path.stat().st_size
-            path.unlink()
-        except FileNotFoundError:
-            return
         with self._lock:
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except FileNotFoundError:
+                return
+            self._lru.pop(path.name, None)
             self._used = max(0, self._used - size)
 
     def clear(self) -> None:
@@ -81,6 +118,7 @@ class NVMeDir:
             for f in self.root.iterdir():
                 if f.is_file():
                     f.unlink()
+            self._lru.clear()
             self._used = 0
 
     def entry_count(self) -> int:

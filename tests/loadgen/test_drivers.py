@@ -1,0 +1,132 @@
+"""Driver tests against a real LocalCluster (short durations, few workers)."""
+
+import pytest
+
+from repro.loadgen import (
+    ClosedLoopDriver,
+    DriverConfig,
+    HookRecorder,
+    OpenLoopDriver,
+    Workload,
+    WorkloadSpec,
+    make_driver,
+)
+from repro.runtime import LocalCluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(n_servers=2, policy="elastic", ttl=0.4, timeout_threshold=2) as c:
+        yield c
+
+
+@pytest.fixture(scope="module")
+def workload(cluster):
+    w = Workload(WorkloadSpec(n_files=16, file_bytes=1024, read_fraction=0.9, seed=11))
+    cluster.paths = w.materialize(cluster.pfs)
+    return w
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "sine"},
+            {"workers": 0},
+            {"rate": 0.0},
+            {"queue_depth": 0},
+            {"backpressure": "explode"},
+            {"batch": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            DriverConfig(**kwargs)
+
+    def test_make_driver_dispatches_on_mode(self, cluster, workload):
+        client = cluster.client()
+        assert isinstance(make_driver(client, workload, DriverConfig(mode="closed")), ClosedLoopDriver)
+        assert isinstance(make_driver(client, workload, DriverConfig(mode="open")), OpenLoopDriver)
+
+    def test_nonpositive_duration_rejected(self, cluster, workload):
+        driver = make_driver(cluster.client(), workload, DriverConfig(workers=1))
+        with pytest.raises(ValueError):
+            driver.run(0)
+
+
+class TestClosedLoop:
+    def test_drives_traffic_and_records_latency(self, cluster, workload):
+        client = cluster.client()
+        driver = ClosedLoopDriver(client, workload, DriverConfig(mode="closed", workers=3))
+        result = driver.run(0.5)
+        assert result.mode == "closed"
+        assert result.ops > 50  # local sockets easily clear this
+        assert result.errors == 0
+        assert result.latency.count == result.ops
+        assert result.service.count == result.ops
+        assert result.throughput > 0
+        reads = sum(v for k, v in result.outcomes.items() if k.startswith("read:"))
+        writes = result.outcomes.get("write:ok", 0)
+        assert reads + writes == result.ops
+        assert writes > 0  # the 10% write mix showed up
+
+    def test_hook_restored_after_run(self, cluster, workload):
+        client = cluster.client()
+        sentinel = lambda *a: None  # noqa: E731
+        client.on_op = sentinel
+        ClosedLoopDriver(client, workload, DriverConfig(workers=1)).run(0.2)
+        assert client.on_op is sentinel
+
+    def test_to_dict_shape(self, cluster, workload):
+        client = cluster.client()
+        result = ClosedLoopDriver(client, workload, DriverConfig(workers=2)).run(0.3)
+        d = result.to_dict()
+        for key in ("mode", "ops", "throughput_ops_s", "errors", "shed", "latency", "outcomes"):
+            assert key in d
+        assert d["latency"]["p50"] <= d["latency"]["p99"] <= d["latency"]["max"]
+        assert 0.0 <= d["client_hit_rate"] <= 1.0
+
+
+class TestOpenLoop:
+    def test_rate_controls_offered_load(self, cluster, workload):
+        client = cluster.client()
+        cfg = DriverConfig(mode="open", workers=2, rate=100.0, queue_depth=128)
+        result = OpenLoopDriver(client, workload, cfg).run(1.0)
+        # Poisson(100/s) over 1s: generous 3-sigma-ish bounds
+        assert 60 <= result.offered <= 140
+        assert result.ops + result.shed == result.offered
+        assert result.errors == 0
+
+    def test_shed_backpressure_under_overload(self, cluster, workload):
+        client = cluster.client()
+        # one worker + deep offered rate + tiny queue -> must shed
+        cfg = DriverConfig(mode="open", workers=1, rate=2000.0, queue_depth=2, backpressure="shed")
+        slow = Workload(WorkloadSpec(n_files=8, file_bytes=1024, seed=12))
+        cluster.paths = slow.materialize(cluster.pfs)
+        result = OpenLoopDriver(client, slow, cfg).run(0.5)
+        assert result.shed > 0
+        assert result.ops + result.shed == result.offered
+
+    def test_block_backpressure_sheds_nothing_until_deadline(self, cluster, workload):
+        client = cluster.client()
+        cfg = DriverConfig(mode="open", workers=2, rate=150.0, queue_depth=64, backpressure="block")
+        result = OpenLoopDriver(client, workload, cfg).run(0.5)
+        assert result.shed == 0
+        assert result.ops == result.offered
+
+    def test_latency_includes_queue_wait(self, cluster, workload):
+        client = cluster.client()
+        cfg = DriverConfig(mode="open", workers=1, rate=400.0, queue_depth=64)
+        result = OpenLoopDriver(client, workload, cfg).run(0.5)
+        if result.ops:  # e2e latency can only be >= pure service time
+            assert result.latency.quantile(0.5) >= result.service.quantile(0.5) * 0.5
+
+
+class TestHookRecorder:
+    def test_records_per_thread_and_merges(self):
+        rec = HookRecorder()
+        rec("read", "/a", 0.001, "cache")
+        rec("read", "/b", 0.002, "pfs")
+        rec("write", "/c", 0.003, "ok")
+        assert rec.service_histogram().count == 3
+        assert rec.outcome_counts() == {"read:cache": 1, "read:pfs": 1, "write:ok": 1}

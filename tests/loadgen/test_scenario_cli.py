@@ -1,0 +1,198 @@
+"""Scenario layer + CLI: phases, chaos injection, JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.loadgen import (
+    ChaosEvent,
+    DriverConfig,
+    PhaseSpec,
+    Scenario,
+    Workload,
+    WorkloadSpec,
+)
+from repro.loadgen.__main__ import main
+from repro.runtime import LocalCluster
+
+
+def _fast_driver(workers=2):
+    return DriverConfig(mode="closed", workers=workers)
+
+
+class TestSpecValidation:
+    def test_chaos_event_validation(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(at=-1.0, action="kill")
+        with pytest.raises(ValueError):
+            ChaosEvent(at=0.0, action="explode")
+
+    def test_phase_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="x", duration=0.0)
+
+    def test_scenario_needs_phases(self):
+        with LocalCluster(n_servers=1) as cluster:
+            with pytest.raises(ValueError):
+                Scenario(cluster, Workload(WorkloadSpec(n_files=2)), phases=[])
+
+
+class TestScenarioRun:
+    def test_phases_run_in_order_with_server_deltas(self):
+        with LocalCluster(n_servers=2, policy="elastic", ttl=0.3, timeout_threshold=2) as cluster:
+            workload = Workload(WorkloadSpec(n_files=12, file_bytes=1024, seed=4))
+            scenario = Scenario(
+                cluster,
+                workload,
+                phases=[
+                    PhaseSpec(name="warmup", duration=0.4, driver=_fast_driver()),
+                    PhaseSpec(name="steady", duration=0.4, driver=_fast_driver()),
+                ],
+            )
+            seen = []
+            report = scenario.run(on_phase=lambda p: seen.append(p.name))
+        assert seen == ["warmup", "steady"]
+        assert [p.name for p in report.phases] == ["warmup", "steady"]
+        warm, steady = report.phases
+        # warm-up misses populate the cache; steady state mostly hits
+        assert warm.server_delta["pfs_reads"] >= 12
+        assert steady.result.to_dict()["client_hit_rate"] > 0.9
+        for phase in report.phases:
+            assert phase.result.errors == 0
+            assert all(v >= 0 for v in phase.server_delta.values())
+
+    def test_scheduled_kill_and_restart_fire_without_errors(self):
+        with LocalCluster(n_servers=3, policy="elastic", ttl=0.2, timeout_threshold=2) as cluster:
+            workload = Workload(WorkloadSpec(n_files=18, file_bytes=1024, seed=6))
+            scenario = Scenario(
+                cluster,
+                workload,
+                phases=[
+                    PhaseSpec(name="warmup", duration=0.4, driver=_fast_driver()),
+                    PhaseSpec(
+                        name="chaos",
+                        duration=1.6,
+                        driver=_fast_driver(workers=3),
+                        chaos=(
+                            ChaosEvent(at=0.4, action="kill"),
+                            ChaosEvent(at=1.1, action="restart"),
+                        ),
+                    ),
+                ],
+            )
+            report = scenario.run()
+        chaos = report.phases[1]
+        actions = [(a["action"], a["node"]) for a in chaos.chaos_actions]
+        assert ("kill", 0) in actions and ("restart", 0) in actions
+        assert chaos.result.errors == 0
+        assert chaos.result.ops > 0
+        assert report.totals()["errors"] == 0
+
+    def test_monkey_phase_records_actions(self):
+        with LocalCluster(n_servers=3, policy="elastic", ttl=0.2, timeout_threshold=2) as cluster:
+            workload = Workload(WorkloadSpec(n_files=8, file_bytes=512, seed=8))
+            scenario = Scenario(
+                cluster,
+                workload,
+                phases=[
+                    PhaseSpec(
+                        name="soak",
+                        duration=1.2,
+                        driver=_fast_driver(),
+                        monkey={"interval": 0.2, "seed": 1, "min_alive": 1},
+                    )
+                ],
+            )
+            report = scenario.run()
+        soak = report.phases[0]
+        assert soak.result.errors == 0
+        assert all(a["action"] in ("kill", "restart") for a in soak.chaos_actions)
+
+    def test_report_json_round_trip(self, tmp_path):
+        with LocalCluster(n_servers=1) as cluster:
+            workload = Workload(WorkloadSpec(n_files=4, file_bytes=256, seed=2))
+            report = Scenario(
+                cluster,
+                workload,
+                phases=[PhaseSpec(name="only", duration=0.3, driver=_fast_driver(1))],
+            ).run()
+            out = report.write_json(tmp_path / "BENCH_loadgen.json")
+        data = json.loads(out.read_text())
+        assert data["bench"] == "loadgen" and data["schema_version"] == 1
+        assert data["config"]["workload"]["n_files"] == 4
+        assert data["totals"]["ops"] == data["phases"][0]["ops"]
+        assert data["phases"][0]["latency"]["count"] == data["phases"][0]["ops"]
+        assert "0" in data["servers"] or 0 in data["servers"]
+
+
+class TestCLI:
+    def test_smoke_run_writes_artifact_and_survives_kill(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_loadgen.json"
+        rc = main(
+            [
+                "--servers", "3",
+                "--duration", "0.8",
+                "--warmup", "0.3",
+                "--chaos", "1.0",
+                "--workload", "zipf",
+                "--workers", "2",
+                "--ttl", "0.2",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "warmup" in captured and "steady" in captured and "chaos" in captured
+        assert "kill node" in captured
+        data = json.loads(out.read_text())
+        assert data["totals"]["errors"] == 0
+        assert len(data["phases"]) == 3
+        chaos_actions = data["phases"][2]["chaos"]
+        assert any(a["action"] == "kill" for a in chaos_actions)
+        assert any(a["action"] == "restart" for a in chaos_actions)
+
+    def test_config_echo_is_seed_deterministic(self, tmp_path):
+        outs = []
+        for run in range(2):
+            out = tmp_path / f"bench_{run}.json"
+            main(
+                [
+                    "--servers", "2",
+                    "--duration", "0.3",
+                    "--warmup", "0",
+                    "--chaos", "0",
+                    "--seed", "77",
+                    "--workers", "1",
+                    "--out", str(out),
+                ]
+            )
+            outs.append(json.loads(out.read_text()))
+        # everything except wall-clock measurements is identical
+        assert outs[0]["config"] == outs[1]["config"]
+        assert outs[0]["schema_version"] == outs[1]["schema_version"]
+
+    def test_no_artifact_when_out_empty(self, capsys):
+        rc = main(["--servers", "1", "--duration", "0.2", "--warmup", "0", "--chaos", "0",
+                   "--workers", "1", "--out", ""])
+        assert rc == 0
+        assert "wrote" not in capsys.readouterr().out
+
+    def test_uniform_workload_and_open_mode(self, tmp_path):
+        out = tmp_path / "b.json"
+        rc = main(
+            [
+                "--servers", "2",
+                "--duration", "0.5",
+                "--warmup", "0.2",
+                "--chaos", "0",
+                "--workload", "uniform",
+                "--mode", "open",
+                "--rate", "150",
+                "--workers", "2",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["phases"][-1]["mode"] == "open"
+        assert data["config"]["workload"]["distribution"] == "uniform"

@@ -1,0 +1,101 @@
+"""Workload model: determinism, popularity shape, sizes, op mix."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import Workload, WorkloadSpec
+from repro.runtime.storage import PFSDir
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_files": 0},
+            {"file_bytes": 0},
+            {"distribution": "pareto"},
+            {"size_model": "bimodal"},
+            {"read_fraction": 1.5},
+            {"zipf_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadSpec(**kwargs)
+
+    def test_to_dict_round_trips_config(self):
+        spec = WorkloadSpec(n_files=8, distribution="uniform", seed=7)
+        d = spec.to_dict()
+        assert d["n_files"] == 8 and d["distribution"] == "uniform" and d["seed"] == 7
+
+
+class TestDeterminism:
+    def test_same_seed_same_ops(self):
+        a, b = Workload(WorkloadSpec(seed=42)), Workload(WorkloadSpec(seed=42))
+        ops_a = a.batch(a.worker_rng(0), 200)
+        ops_b = b.batch(b.worker_rng(0), 200)
+        assert ops_a == ops_b
+
+    def test_different_workers_decorrelated(self):
+        w = Workload(WorkloadSpec(seed=42))
+        ops_0 = w.batch(w.worker_rng(0), 100)
+        ops_1 = w.batch(w.worker_rng(1), 100)
+        assert ops_0 != ops_1
+
+    def test_different_streams_decorrelated(self):
+        w = Workload(WorkloadSpec(seed=42))
+        assert w.batch(w.worker_rng(0, stream=0), 100) != w.batch(w.worker_rng(0, stream=1), 100)
+
+    def test_corpus_deterministic(self, tmp_path):
+        spec = WorkloadSpec(n_files=6, file_bytes=512, seed=9)
+        pfs_a, pfs_b = PFSDir(tmp_path / "a"), PFSDir(tmp_path / "b")
+        Workload(spec).materialize(pfs_a)
+        Workload(spec).materialize(pfs_b)
+        for i in range(6):
+            path = f"/dataset/train/sample_{i:06d}.bin"
+            assert pfs_a.read(path) == pfs_b.read(path)
+            assert len(pfs_a.read(path)) == 512
+
+
+class TestPopularity:
+    def test_zipf_concentrates_mass(self):
+        zipf = Workload(WorkloadSpec(n_files=256, distribution="zipf", zipf_s=1.2))
+        uniform = Workload(WorkloadSpec(n_files=256, distribution="uniform"))
+        assert zipf.expected_hot_fraction(8) > 4 * uniform.expected_hot_fraction(8)
+        assert uniform.expected_hot_fraction(8) == pytest.approx(8 / 256)
+
+    def test_empirical_frequencies_match_probs(self):
+        w = Workload(WorkloadSpec(n_files=16, distribution="zipf", zipf_s=1.0, seed=5))
+        rng = w.worker_rng(0)
+        counts = np.zeros(16)
+        for op in w.batch(rng, 20000):
+            counts[w.paths.index(op.path)] += 1
+        freqs = counts / counts.sum()
+        assert np.abs(freqs - w.probs).max() < 0.02
+
+    def test_probabilities_normalised(self):
+        w = Workload(WorkloadSpec(n_files=100, distribution="zipf"))
+        assert w.probs.sum() == pytest.approx(1.0)
+
+
+class TestMixAndSizes:
+    def test_read_fraction_respected(self):
+        w = Workload(WorkloadSpec(read_fraction=0.7, seed=3))
+        ops = w.batch(w.worker_rng(0), 5000)
+        reads = sum(1 for o in ops if o.kind == "read")
+        assert 0.65 < reads / len(ops) < 0.75
+
+    def test_pure_read_workload(self):
+        w = Workload(WorkloadSpec(read_fraction=1.0))
+        assert all(o.kind == "read" for o in w.batch(w.worker_rng(0), 500))
+
+    def test_lognormal_sizes_vary_around_mean(self):
+        w = Workload(WorkloadSpec(n_files=400, file_bytes=4096, size_model="lognormal"))
+        assert len(set(w.sizes.tolist())) > 100  # actually varied
+        assert 0.5 * 4096 < w.sizes.mean() < 2.0 * 4096
+        assert w.sizes.min() >= 1
+        assert w.total_corpus_bytes() == int(w.sizes.sum())
+
+    def test_fixed_sizes(self):
+        w = Workload(WorkloadSpec(n_files=10, file_bytes=1024))
+        assert set(w.sizes.tolist()) == {1024}

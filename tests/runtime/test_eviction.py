@@ -1,0 +1,145 @@
+"""LRU eviction in the threaded runtime's NVMeDir, and the read/evict race.
+
+The race regression (``runtime/server.py`` ``_read``): an entry evicted
+between the server's cache-presence check and the actual file read must
+degrade to a PFS miss, never surface as a client-visible error.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime import LocalCluster
+from repro.runtime.server import FTCacheServer
+from repro.runtime.storage import NVMeDir, PFSDir
+
+
+class TestNVMeDirLRU:
+    def test_eviction_order_is_lru(self, tmp_path):
+        nv = NVMeDir(tmp_path, capacity_bytes=30)
+        nv.write("/a", b"x" * 10)
+        nv.write("/b", b"x" * 10)
+        nv.write("/c", b"x" * 10)
+        nv.read("/a")  # refresh /a: /b becomes LRU
+        nv.write("/d", b"x" * 10)
+        assert nv.contains("/a") and nv.contains("/c") and nv.contains("/d")
+        assert not nv.contains("/b")
+        assert nv.evictions == 1
+
+    def test_multiple_evictions_for_one_write(self, tmp_path):
+        nv = NVMeDir(tmp_path, capacity_bytes=30)
+        for key in ("/a", "/b", "/c"):
+            nv.write(key, b"x" * 10)
+        nv.write("/big", b"x" * 20)  # must displace /a and /b
+        assert not nv.contains("/a") and not nv.contains("/b")
+        assert nv.contains("/c") and nv.contains("/big")
+        assert nv.evictions == 2
+        assert nv.used_bytes == 30  # /c (10) + /big (20)
+
+    def test_rewrite_same_key_does_not_self_evict(self, tmp_path):
+        nv = NVMeDir(tmp_path, capacity_bytes=10)
+        nv.write("/a", b"x" * 8)
+        nv.write("/a", b"y" * 10)  # replace in place, no eviction
+        assert nv.read("/a") == b"y" * 10
+        assert nv.evictions == 0 and nv.used_bytes == 10
+
+    def test_unbounded_dir_never_evicts(self, tmp_path):
+        nv = NVMeDir(tmp_path)
+        for i in range(20):
+            nv.write(f"/k{i}", b"x" * 100)
+        assert nv.evictions == 0 and nv.entry_count() == 20
+
+    def test_lru_state_rebuilt_on_reopen(self, tmp_path):
+        nv = NVMeDir(tmp_path, capacity_bytes=100)
+        nv.write("/a", b"x" * 40)
+        nv.write("/b", b"x" * 40)
+        again = NVMeDir(tmp_path, capacity_bytes=100)
+        assert again.used_bytes == 80
+        again.write("/c", b"x" * 40)  # rescanned entries are evictable
+        assert again.evictions == 1 and again.used_bytes <= 100
+
+    def test_drop_removes_from_lru_accounting(self, tmp_path):
+        nv = NVMeDir(tmp_path, capacity_bytes=20)
+        nv.write("/a", b"x" * 10)
+        nv.drop("/a")
+        nv.write("/b", b"x" * 20)  # freed space: no eviction needed
+        assert nv.evictions == 0 and nv.used_bytes == 20
+
+
+class TestEvictionRaceRegression:
+    def test_entry_evicted_between_check_and_read_falls_through_to_pfs(self, tmp_path):
+        """server.py _read: contains() true, read() raises -> serve from PFS."""
+        pfs = PFSDir(tmp_path / "pfs")
+        pfs.write("/data/a.bin", b"ground truth")
+        nvme = NVMeDir(tmp_path / "nvme")
+        nvme.write("/data/a.bin", b"ground truth")
+        server = FTCacheServer(0, nvme, pfs).start()
+
+        real_read = nvme.read
+
+        def racing_read(key):
+            # Simulate a concurrent eviction winning the race: the entry
+            # vanishes after contains() said it was there.
+            (nvme.root / [f.name for f in nvme.root.iterdir()][0]).unlink()
+            return real_read(key)
+
+        nvme.read = racing_read
+        try:
+            resp = server._read("/data/a.bin")
+        finally:
+            server.close()
+        assert resp.ok
+        assert resp.payload == b"ground truth"
+        assert resp.header["source"] == "pfs"
+        assert server.stats.errors == 0
+        assert server.stats.misses == 1 and server.stats.pfs_reads == 1
+
+    def test_concurrent_eviction_pressure_no_client_errors(self):
+        """End-to-end: tiny caches churn entries while readers hammer them."""
+        with LocalCluster(
+            n_servers=2,
+            policy="elastic",
+            ttl=0.5,
+            timeout_threshold=3,
+            nvme_capacity_bytes=8 * 1024,  # holds only 4 of 32 x 2 KiB entries
+        ) as cluster:
+            paths = cluster.populate(n_files=32, file_bytes=2048, seed=7)
+            client = cluster.client()
+            errors = []
+
+            def hammer(offset):
+                try:
+                    for i in range(60):
+                        data = client.read(paths[(i + offset) % len(paths)])
+                        assert len(data) == 2048
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer, args=(k * 11,)) for k in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            stats = cluster.total_stats()
+            assert stats["errors"] == 0
+            assert stats["evictions"] > 0  # pressure actually churned the cache
+
+
+class TestServerStatSnapshot:
+    def test_stat_reports_eviction_and_traffic_counters(self):
+        with LocalCluster(n_servers=1, nvme_capacity_bytes=4096) as cluster:
+            paths = cluster.populate(n_files=8, file_bytes=1024, seed=3)
+            client = cluster.client()
+            for p in paths + paths:
+                client.read(p)
+            import time
+
+            time.sleep(0.3)  # async data movers
+            stat = client.server_stat(0)
+            assert stat is not None
+            for key in ("pfs_reads", "recached", "errors", "evictions", "capacity_bytes"):
+                assert key in stat
+            assert stat["capacity_bytes"] == 4096
+            assert stat["evictions"] > 0
+            assert stat["cached_bytes"] <= 4096

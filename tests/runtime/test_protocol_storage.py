@@ -103,11 +103,18 @@ class TestNVMeDir:
         assert nv.read("/a/x.bin") == b"1"
         assert nv.read("/b/x.bin") == b"2"
 
-    def test_capacity_enforced(self, tmp_path):
+    def test_capacity_pressure_evicts_lru(self, tmp_path):
         nv = NVMeDir(tmp_path, capacity_bytes=10)
         nv.write("/a", b"12345")
-        with pytest.raises(OSError):
-            nv.write("/b", b"123456789")
+        nv.write("/b", b"123456789")  # evicts /a instead of raising
+        assert not nv.contains("/a")
+        assert nv.read("/b") == b"123456789"
+        assert nv.evictions == 1 and nv.used_bytes == 9
+
+    def test_oversized_entry_still_rejected(self, tmp_path):
+        nv = NVMeDir(tmp_path, capacity_bytes=10)
+        with pytest.raises(OSError, match="exceeds cache capacity"):
+            nv.write("/big", b"x" * 11)
 
     def test_drop(self, tmp_path):
         nv = NVMeDir(tmp_path)
