@@ -37,9 +37,25 @@ from .workload import Workload
 
 __all__ = ["ChaosEvent", "PhaseSpec", "PhaseReport", "ScenarioReport", "Scenario"]
 
-BENCH_SCHEMA_VERSION = 1
+#: v2: per-phase deltas and server snapshots grew the data-mover pool
+#: counters (mover_enqueued/coalesced/dropped, mover_queue_len) and
+#: race_fallthroughs; client_stats split cache_reads into
+#: server_cache_reads / server_pfs_reads (the old key stays as an alias)
+#: and added reconnects.
+BENCH_SCHEMA_VERSION = 2
 
-_DELTA_KEYS = ("hits", "misses", "pfs_reads", "recached", "errors", "evictions")
+_DELTA_KEYS = (
+    "hits",
+    "misses",
+    "pfs_reads",
+    "recached",
+    "errors",
+    "evictions",
+    "race_fallthroughs",
+    "mover_enqueued",
+    "mover_coalesced",
+    "mover_dropped",
+)
 
 
 @dataclass(frozen=True)

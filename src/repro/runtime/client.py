@@ -11,8 +11,23 @@ exercised in both worlds.  The flow is the paper's Figure 3:
    is declared failed, the policy reacts (abort / redirect / re-ring);
 4. unserved reads re-route and retry.
 
+Detector evidence rules (what counts toward declaration):
+
+* a **socket timeout** on any connection — the node accepted bytes and
+  went silent; that is exactly the hang the TTL exists to catch;
+* a **refused/reset on a fresh connection** — nothing is listening;
+* a reset/EOF on a **pooled, previously-idle** connection is *not*
+  evidence by itself: a server restart (or idle-connection reap) kills
+  established sockets without the node being unhealthy *now*.  The
+  client transparently reconnects and retries once; only the fresh
+  attempt's outcome feeds the detector.
+
 Thread safety: a client may be shared by loader workers; the connection
-pool is per-thread, and policy/detector mutations take a lock.
+pool is per-thread, and policy/detector mutations take a lock.  Pool
+entries carry a per-node **epoch**: :meth:`admit_node` (and a failure
+declaration) bump the node's epoch, so every thread's pooled socket to a
+restarted node is lazily discarded instead of being replayed into the
+detector as false evidence.
 """
 
 from __future__ import annotations
@@ -37,11 +52,22 @@ class ReadError(RuntimeError):
     """A read failed for a non-failure reason (e.g. missing file)."""
 
 
+class _PooledConn:
+    """One pooled socket plus the node epoch/address it was created for."""
+
+    __slots__ = ("sock", "epoch", "addr")
+
+    def __init__(self, sock: socket.socket, epoch: int, addr: tuple[str, int]):
+        self.sock = sock
+        self.epoch = epoch
+        self.addr = addr
+
+
 class _ConnectionPool(threading.local):
-    """Per-thread socket cache keyed by address."""
+    """Per-thread socket cache keyed by node id."""
 
     def __init__(self) -> None:
-        self.conns: dict[tuple[str, int], socket.socket] = {}
+        self.conns: dict[NodeId, _PooledConn] = {}
 
 
 class FTCacheClient:
@@ -75,8 +101,13 @@ class FTCacheClient:
         self.on_op = on_op
         self._pool = _ConnectionPool()
         self._policy_lock = threading.Lock()
-        self.stats = {
-            "cache_reads": 0,
+        #: node → connection epoch; bumped on admit_node and on failure
+        #: declaration so every thread's pool drops stale sockets lazily
+        self._node_epoch: dict[NodeId, int] = {}
+        self._epoch_lock = threading.Lock()
+        self._counts = {
+            "server_cache_reads": 0,
+            "server_pfs_reads": 0,
             "pfs_direct_reads": 0,
             "timeouts": 0,
             "declared": 0,
@@ -84,8 +115,20 @@ class FTCacheClient:
             "replica_pushes": 0,
             "writes": 0,
             "cache_installs": 0,
+            "reconnects": 0,
         }
         self._stats_lock = threading.Lock()
+
+    @property
+    def stats(self) -> dict:
+        """Counter snapshot.  ``cache_reads`` (the pre-split name for any
+        successful server-side read, whatever its source) is kept as a
+        computed alias of ``server_cache_reads + server_pfs_reads`` so
+        existing bench JSON and dashboards keep working."""
+        with self._stats_lock:
+            out = dict(self._counts)
+        out["cache_reads"] = out["server_cache_reads"] + out["server_pfs_reads"]
+        return out
 
     # -- public API --------------------------------------------------------------
     def read(self, path: str) -> bytes:
@@ -125,9 +168,7 @@ class FTCacheClient:
                 self._bump(timeouts=1)
                 if self.detector.record_timeout(node):
                     self._bump(declared=1)
-                    with self._policy_lock:
-                        # NoFT raises UnrecoverableNodeFailure out of here.
-                        self.policy.on_node_failed(node)
+                    self._declare_failed(node)
         raise ReadError(f"could not read {path!r} after {self.max_reroute_rounds} attempts")
 
     def write(self, path: str, data: bytes) -> None:
@@ -155,19 +196,14 @@ class FTCacheClient:
         if not candidates:
             return
         node = candidates[0]
-        try:
-            sock = self._connect(node)
-            msg = Message.request(OP_PUT, path=path)
-            msg.payload = data
-            send_message(sock, msg)
-            resp = recv_message(sock)
-        except (socket.timeout, TimeoutError, ConnectionError, OSError):
-            self._drop_conn(node)
+        msg = Message.request(OP_PUT, path=path)
+        msg.payload = data
+        resp = self._rpc(node, msg)
+        if resp is None:
             self._bump(timeouts=1)
             if self.detector.record_timeout(node):
                 self._bump(declared=1)
-                with self._policy_lock:
-                    self.policy.on_node_failed(node)
+                self._declare_failed(node)
             return
         if resp.ok:
             self.detector.record_success(node)
@@ -218,12 +254,16 @@ class FTCacheClient:
     def admit_node(self, node: NodeId, addr: tuple) -> None:
         """(Re-)admit a server: elastic scale-up / rejoin after repair.
 
-        Updates the address book, clears the node's detector history, and
-        re-adds it to the placement — keys that lived there before the
-        failure flow back, and (for a rejoining node) its cache directory
-        still holds them, so the rejoin is warm.
+        Updates the address book, bumps the node's connection epoch (every
+        thread's pooled socket to the old instance is lazily discarded —
+        a restarted node starts with a clean slate instead of its first
+        request landing on a dead socket), clears the node's detector
+        history, and re-adds it to the placement — keys that lived there
+        before the failure flow back, and (for a rejoining node) its
+        cache directory still holds them, so the rejoin is warm.
         """
         self.servers[node] = tuple(addr)
+        self._bump_epoch(node)
         self._drop_conn(node)
         self.detector.reset(node)
         with self._policy_lock:
@@ -232,13 +272,12 @@ class FTCacheClient:
     def server_stat(self, node: NodeId) -> Optional[dict]:
         """STAT one server (None on timeout); for tests and monitoring."""
         try:
-            sock = self._connect(node)
-            send_message(sock, Message.request(OP_STAT))
-            resp = recv_message(sock)
-            return dict(resp.header) if resp.ok else None
-        except OSError:
-            self._drop_conn(node)
+            resp = self._rpc(node, Message.request(OP_STAT))
+        except OSError:  # pragma: no cover - unexpected transport error
             return None
+        if resp is None or not resp.ok:
+            return None
+        return dict(resp.header)
 
     # -- internals -----------------------------------------------------------------
     def _notify(self, op: str, path: str, seconds: float, outcome: str) -> None:
@@ -248,7 +287,7 @@ class FTCacheClient:
     def _bump(self, **deltas: int) -> None:
         with self._stats_lock:
             for k, d in deltas.items():
-                self.stats[k] += d
+                self._counts[k] += d
 
     def _addr(self, node: NodeId) -> tuple[str, int]:
         try:
@@ -256,47 +295,101 @@ class FTCacheClient:
         except KeyError:
             raise ReadError(f"unknown server node {node!r}") from None
 
-    def _connect(self, node: NodeId) -> socket.socket:
+    def _epoch(self, node: NodeId) -> int:
+        with self._epoch_lock:
+            return self._node_epoch.get(node, 0)
+
+    def _bump_epoch(self, node: NodeId) -> None:
+        with self._epoch_lock:
+            self._node_epoch[node] = self._node_epoch.get(node, 0) + 1
+
+    def _declare_failed(self, node: NodeId) -> None:
+        """Detector reached threshold: retire the node's sockets everywhere
+        and let the fault policy react (NoFT raises out of here)."""
+        self._bump_epoch(node)
+        self._drop_conn(node)
+        with self._policy_lock:
+            self.policy.on_node_failed(node)
+
+    def _checkout(self, node: NodeId) -> tuple[socket.socket, bool]:
+        """This thread's socket to ``node`` plus whether it is fresh.
+
+        A pooled socket from an older epoch (node restarted/redeclared) or
+        a changed address is discarded, never reused.
+        """
         addr = self._addr(node)
-        sock = self._pool.conns.get(addr)
-        if sock is None:
-            sock = socket.create_connection(addr, timeout=self.detector.ttl)
-            sock.settimeout(self.detector.ttl)
-            self._pool.conns[addr] = sock
-        return sock
+        epoch = self._epoch(node)
+        pooled = self._pool.conns.get(node)
+        if pooled is not None:
+            if pooled.epoch == epoch and pooled.addr == addr:
+                return pooled.sock, False
+            self._pool.conns.pop(node, None)
+            try:
+                pooled.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        sock = socket.create_connection(addr, timeout=self.detector.ttl)
+        sock.settimeout(self.detector.ttl)
+        self._pool.conns[node] = _PooledConn(sock, epoch, addr)
+        return sock, True
 
     def _drop_conn(self, node: NodeId) -> None:
-        addr = self.servers.get(node)
-        sock = self._pool.conns.pop(addr, None) if addr else None
-        if sock is not None:
+        pooled = self._pool.conns.pop(node, None)
+        if pooled is not None:
             try:
-                sock.close()
+                pooled.sock.close()
             except OSError:  # pragma: no cover
                 pass
 
+    def _rpc(self, node: NodeId, msg: Message) -> Optional[Message]:
+        """One request/response against ``node``; None means *detector
+        evidence* (timeout, or connection failure on a fresh socket).
+
+        A reset/EOF on a pooled socket gets one transparent
+        reconnect-and-retry first — a restarted server kills established
+        connections without being unhealthy now, so only the fresh
+        attempt's outcome may count against the node.
+        """
+        for _ in range(2):
+            fresh = True
+            try:
+                sock, fresh = self._checkout(node)
+                send_message(sock, msg)
+                return recv_message(sock)
+            except (socket.timeout, TimeoutError):
+                # The node accepted the connection and went silent: the
+                # very hang the TTL exists to catch.  Always evidence.
+                self._drop_conn(node)
+                return None
+            except (ConnectionError, OSError):
+                self._drop_conn(node)
+                if fresh:
+                    # Nothing listening / reset on a brand-new socket.
+                    return None
+                self._bump(reconnects=1)  # stale pooled socket: retry once
+        return None  # pragma: no cover - loop always returns
+
     def _rpc_read(self, node: NodeId, path: str) -> Optional[tuple[bytes, str]]:
         """One READ attempt: ``(data, source)``, or None on timeout/refusal."""
-        try:
-            sock = self._connect(node)
-            send_message(sock, Message.request(OP_READ, path=path))
-            resp = recv_message(sock)
-        except (socket.timeout, TimeoutError, ConnectionError, OSError):
-            # A dead node manifests as either a hang (socket timeout) or a
-            # refused/reset connection — both count toward the threshold.
-            self._drop_conn(node)
+        resp = self._rpc(node, Message.request(OP_READ, path=path))
+        if resp is None:
             return None
         if resp.ok:
             self.detector.record_success(node)
-            self._bump(cache_reads=1)
-            return resp.payload, resp.header.get("source", "cache")
+            source = resp.header.get("source", "cache")
+            if source == "pfs":
+                self._bump(server_pfs_reads=1)
+            else:
+                self._bump(server_cache_reads=1)
+            return resp.payload, source
         if resp.header.get("code") == "ENOENT":
             raise ReadError(f"no such file: {path}")
         raise ReadError(f"server error for {path!r}: {resp.header.get('reason')}")
 
     def close(self) -> None:
-        for sock in self._pool.conns.values():
+        for pooled in self._pool.conns.values():
             try:
-                sock.close()
+                pooled.sock.close()
             except OSError:  # pragma: no cover
                 pass
         self._pool.conns.clear()

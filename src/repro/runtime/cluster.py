@@ -29,7 +29,7 @@ from ..core.replication import ReplicatedRecache
 from ..core.hash_ring import HashRing
 from ..core.static_hash import StaticHash
 from .client import FTCacheClient
-from .server import FTCacheServer
+from .server import STAT_COUNTER_KEYS, FTCacheServer
 from .storage import NVMeDir, PFSDir
 
 __all__ = ["LocalCluster"]
@@ -49,6 +49,8 @@ class LocalCluster:
         pfs_read_delay: float = 0.0,
         nvme_capacity_bytes: Optional[int] = None,
         replicas: int = 2,
+        mover_workers: int = 2,
+        mover_queue_depth: int = 64,
     ):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
@@ -56,19 +58,32 @@ class LocalCluster:
         self.replicas = replicas
         self.ttl = ttl
         self.timeout_threshold = timeout_threshold
+        self.mover_workers = mover_workers
+        self.mover_queue_depth = mover_queue_depth
         self._owns_workdir = workdir is None
         self.workdir = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="ftcache-"))
         self.pfs = PFSDir(self.workdir / "pfs", read_delay=pfs_read_delay)
         self.servers: dict[int, FTCacheServer] = {}
         for i in range(n_servers):
             nvme = NVMeDir(self.workdir / f"nvme{i}", capacity_bytes=nvme_capacity_bytes)
-            self.servers[i] = FTCacheServer(i, nvme, self.pfs).start()
+            self.servers[i] = self._spawn_server(i, nvme)
         self.vnodes_per_node = vnodes_per_node
         self.paths: list[str] = []
         self._clients: list[FTCacheClient] = []
         #: counters of server instances retired by restart_server, so
         #: cluster-wide totals stay monotone across repairs
-        self._retired_stats = {k: 0 for k in ("hits", "misses", "pfs_reads", "recached", "errors", "evictions")}
+        self._retired_stats = {k: 0 for k in (*STAT_COUNTER_KEYS, "evictions")}
+
+    def _spawn_server(self, node_id: int, nvme: NVMeDir, host: str = "127.0.0.1", port: int = 0) -> FTCacheServer:
+        return FTCacheServer(
+            node_id,
+            nvme,
+            self.pfs,
+            host=host,
+            port=port,
+            mover_workers=self.mover_workers,
+            mover_queue_depth=self.mover_queue_depth,
+        ).start()
 
     # -- construction helpers ---------------------------------------------------------
     def _make_placement(self):
@@ -116,21 +131,34 @@ class LocalCluster:
         """The DRAIN analogue: the server stops answering."""
         self.servers[node_id].kill(mode=mode)
 
-    def restart_server(self, node_id: int, notify_clients: bool = True) -> FTCacheServer:
+    def restart_server(
+        self, node_id: int, notify_clients: bool = True, same_address: bool = False
+    ) -> FTCacheServer:
         """Bring a killed node back (repair + elastic rejoin).
 
         A fresh server starts over the node's existing cache directory —
         entries written before the failure survive, so the rejoin is warm.
         Clients created by this cluster are re-pointed at the new address
         and their policies re-admit the node (keys flow back to it).
+
+        ``same_address=True`` rebinds the node's previous host:port — the
+        HPC repair case where a node rejoins under its old identity.  With
+        ``notify_clients=False`` this exercises the stale-pooled-socket
+        path: clients discover the restart only when a reused connection
+        resets, and must reconnect transparently rather than feed the
+        failure detector.
         """
         old = self.servers[node_id]
+        host, port = old.address
         old.close()
-        for k in ("hits", "misses", "pfs_reads", "recached", "errors"):
-            self._retired_stats[k] += getattr(old.stats, k)
+        for k, v in old.stats.counters().items():
+            self._retired_stats[k] += v
         self._retired_stats["evictions"] += old.nvme.evictions
         nvme = NVMeDir(old.nvme.root, capacity_bytes=old.nvme.capacity_bytes)  # rescans surviving entries
-        fresh = FTCacheServer(node_id, nvme, self.pfs).start()
+        if same_address:
+            fresh = self._spawn_server(node_id, nvme, host=host, port=port)
+        else:
+            fresh = self._spawn_server(node_id, nvme)
         self.servers[node_id] = fresh
         if notify_clients:
             for c in self._clients:
@@ -144,8 +172,8 @@ class LocalCluster:
     def total_stats(self) -> dict:
         out = dict(self._retired_stats)
         for s in self.servers.values():
-            for k in ("hits", "misses", "pfs_reads", "recached", "errors"):
-                out[k] += getattr(s.stats, k)
+            for k, v in s.stats.counters().items():
+                out[k] += v
             out["evictions"] += s.nvme.evictions
         return out
 
@@ -158,12 +186,10 @@ class LocalCluster:
                 "cached_entries": s.nvme.entry_count(),
                 "cached_bytes": s.nvme.used_bytes,
                 "capacity_bytes": s.nvme.capacity_bytes,
-                "hits": s.stats.hits,
-                "misses": s.stats.misses,
-                "pfs_reads": s.stats.pfs_reads,
-                "recached": s.stats.recached,
-                "errors": s.stats.errors,
                 "evictions": s.nvme.evictions,
+                "mover_queue_len": s.mover.queue_len,
+                "mover_workers": s.mover.workers,
+                **s.stats.counters(),
             }
         return out
 

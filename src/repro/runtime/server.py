@@ -3,8 +3,16 @@
 Serves the same protocol as the paper's HVAC server daemon: a READ either
 hits the node-local cache directory or falls through to the shared PFS
 directory, serves the bytes, and hands them to a background *data mover*
-thread for recaching — the Sec IV-B retrieve → serve → cache sequence,
-now with actual files and actual threads.
+for recaching — the Sec IV-B retrieve → serve → cache sequence, now with
+actual files and actual threads.
+
+The data mover is a **bounded worker pool** (:class:`DataMoverPool`), not
+a thread per miss: a miss storm (cold cache, failover re-homing a node's
+keys, chaos-monkey churn) enqueues recache work onto a fixed number of
+workers behind a bounded queue.  Duplicate keys already queued or being
+written are coalesced, and when the queue is full the *oldest* pending
+entry is dropped (and counted) — recaching is an optimisation, so losing
+one write-through only costs a future PFS read, never correctness.
 
 Failure injection mirrors a drained node: :meth:`FTCacheServer.kill` with
 ``mode="hang"`` keeps the port open but never answers (clients see socket
@@ -17,13 +25,28 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .protocol import OP_PING, OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
 from .storage import NVMeDir, PFSDir
 
-__all__ = ["FTCacheServer", "ServerStats"]
+__all__ = ["FTCacheServer", "ServerStats", "DataMoverPool"]
+
+#: every monotone per-server counter, in one place so cluster aggregation,
+#: STAT responses, and snapshot dictionaries can never drift apart
+STAT_COUNTER_KEYS = (
+    "hits",
+    "misses",
+    "pfs_reads",
+    "recached",
+    "errors",
+    "race_fallthroughs",
+    "mover_enqueued",
+    "mover_coalesced",
+    "mover_dropped",
+)
 
 
 @dataclass
@@ -33,6 +56,13 @@ class ServerStats:
     pfs_reads: int = 0
     recached: int = 0
     errors: int = 0
+    #: reads that saw ``contains()`` true but lost the race to an eviction
+    #: and fell through to the PFS (previously indistinguishable from a miss)
+    race_fallthroughs: int = 0
+    #: data-mover queue accounting (see DataMoverPool)
+    mover_enqueued: int = 0
+    mover_coalesced: int = 0
+    mover_dropped: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def bump(self, **deltas: int) -> None:
@@ -40,9 +70,123 @@ class ServerStats:
             for name, d in deltas.items():
                 setattr(self, name, getattr(self, name) + d)
 
+    def counters(self) -> dict:
+        """Point-in-time copy of every counter (one lock acquisition)."""
+        with self._lock:
+            return {k: getattr(self, k) for k in STAT_COUNTER_KEYS}
+
+
+class DataMoverPool:
+    """Bounded worker pool for write-through recaching.
+
+    ``submit(path, data)`` enqueues one recache; a fixed set of worker
+    threads drains the queue into the cache directory.  Three policies
+    keep a miss storm from melting the node:
+
+    * **bounded queue** — at most ``queue_depth`` pending entries;
+    * **coalescing** — a key already queued or currently being written is
+      not enqueued again (the bytes are identical: both came from the
+      PFS), counted as ``mover_coalesced``;
+    * **drop-oldest overflow** — a full queue drops its *oldest* pending
+      entry to admit the new one (recency wins: the new key was just
+      requested), counted as ``mover_dropped``.
+
+    :meth:`close` performs a graceful drain: no new work is accepted,
+    workers finish whatever is queued, then exit.
+    """
+
+    def __init__(
+        self,
+        nvme: NVMeDir,
+        stats: ServerStats,
+        node_id: int,
+        workers: int = 2,
+        queue_depth: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.nvme = nvme
+        self.stats = stats
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self._cond = threading.Condition()
+        self._queue: "OrderedDict[str, bytes]" = OrderedDict()
+        self._inflight: set[str] = set()
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"data-mover-{node_id}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- producer side ---------------------------------------------------------------
+    def submit(self, path: str, data: bytes) -> bool:
+        """Enqueue one recache; False only after :meth:`close`."""
+        with self._cond:
+            if self._closed:
+                return False
+            if path in self._queue or path in self._inflight:
+                self.stats.bump(mover_coalesced=1)
+                return True
+            if len(self._queue) >= self.queue_depth:
+                self._queue.popitem(last=False)
+                self.stats.bump(mover_dropped=1)
+            self._queue[path] = data
+            self.stats.bump(mover_enqueued=1)
+            self._cond.notify()
+        return True
+
+    # -- worker side -----------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:  # closed and drained
+                    return
+                path, data = self._queue.popitem(last=False)
+                self._inflight.add(path)
+            try:
+                self.nvme.write(path, data)
+                self.stats.bump(recached=1)
+            except OSError:
+                pass  # cache full: serveable but not cacheable
+            finally:
+                with self._cond:
+                    self._inflight.discard(path)
+
+    # -- introspection / lifecycle -----------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def alive_workers(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    def close(self, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop accepting work; drain (or discard) the queue; join workers."""
+        with self._cond:
+            self._closed = True
+            if not drain:
+                self._queue.clear()
+            self._cond.notify_all()
+        deadline = timeout
+        for t in self._threads:
+            t.join(timeout=max(0.1, deadline / max(1, len(self._threads))))
+
 
 class _Handler(socketserver.BaseRequestHandler):
     server: "_TCPServer"
+
+    def setup(self) -> None:  # noqa: D102 - socketserver hook
+        self.server.owner._register_conn(self.request)
+
+    def finish(self) -> None:  # noqa: D102 - socketserver hook
+        self.server.owner._unregister_conn(self.request)
 
     def handle(self) -> None:  # noqa: D102 - socketserver hook
         owner: "FTCacheServer" = self.server.owner
@@ -80,6 +224,8 @@ class FTCacheServer:
         pfs: PFSDir,
         host: str = "127.0.0.1",
         port: int = 0,
+        mover_workers: int = 2,
+        mover_queue_depth: int = 64,
     ):
         self.node_id = node_id
         self.nvme = nvme
@@ -92,7 +238,13 @@ class FTCacheServer:
         self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
         self._tcp.owner = self
         self._thread: Optional[threading.Thread] = None
-        self._movers: list[threading.Thread] = []
+        self.mover = DataMoverPool(
+            nvme, self.stats, node_id, workers=mover_workers, queue_depth=mover_queue_depth
+        )
+        #: accepted connections, severed on close() so pooled client sockets
+        #: observe a restart instead of silently talking to a dead instance
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
         self._alive = False
 
     # -- lifecycle -----------------------------------------------------------------
@@ -114,6 +266,14 @@ class FTCacheServer:
         self._alive = True
         return self
 
+    def _register_conn(self, sock: socket.socket) -> None:
+        with self._conns_lock:
+            self._conns.add(sock)
+
+    def _unregister_conn(self, sock: socket.socket) -> None:
+        with self._conns_lock:
+            self._conns.discard(sock)
+
     def kill(self, mode: str = "hang") -> None:
         """Simulate node failure.
 
@@ -131,16 +291,30 @@ class FTCacheServer:
             self._tcp.server_close()
 
     def close(self) -> None:
-        """Clean shutdown (not a failure simulation)."""
+        """Clean shutdown (not a failure simulation): stop the listener,
+        sever accepted connections, and drain the data-mover pool."""
         self._alive = False
         self.hang_barrier.set()
         try:
-            self._tcp.shutdown()
+            if self._thread is not None:
+                # shutdown() waits on the serve_forever loop; calling it on a
+                # never-started server would block forever.
+                self._tcp.shutdown()
             self._tcp.server_close()
         except OSError:  # pragma: no cover - already closed
             pass
-        for t in self._movers:
-            t.join(timeout=2.0)
+        with self._conns_lock:
+            conns = list(self._conns)
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self.mover.close(drain=True)
 
     # -- request handling -----------------------------------------------------------
     def dispatch(self, msg: Message) -> Message:
@@ -152,12 +326,10 @@ class FTCacheServer:
                 cached_entries=self.nvme.entry_count(),
                 cached_bytes=self.nvme.used_bytes,
                 capacity_bytes=self.nvme.capacity_bytes,
-                hits=self.stats.hits,
-                misses=self.stats.misses,
-                pfs_reads=self.stats.pfs_reads,
-                recached=self.stats.recached,
-                errors=self.stats.errors,
                 evictions=self.nvme.evictions,
+                mover_queue_len=self.mover.queue_len,
+                mover_workers=self.mover.workers,
+                **self.stats.counters(),
             )
         if msg.op == OP_READ:
             return self._read(msg.header.get("path", ""))
@@ -177,14 +349,14 @@ class FTCacheServer:
                 return Message.ok_response(payload=data, source="cache")
             except OSError:
                 # Entry raced away (eviction); fall through to the PFS.
-                pass
+                self.stats.bump(race_fallthroughs=1)
         try:
             data = self.pfs.read(path)
         except FileNotFoundError:
             self.stats.bump(errors=1)
             return Message.error_response(f"no such file: {path}", code="ENOENT")
         self.stats.bump(misses=1, pfs_reads=1)
-        self._recache_async(path, data)
+        self.mover.submit(path, data)
         return Message.ok_response(payload=data, source="pfs")
 
     def _put(self, path: str, data: bytes) -> Message:
@@ -201,17 +373,3 @@ class FTCacheServer:
             return Message.error_response(f"cache full: {exc}", code="ENOSPC")
         self.stats.bump(recached=1)
         return Message.ok_response(stored=len(data))
-
-    def _recache_async(self, path: str, data: bytes) -> None:
-        """Data-mover thread: write-through to the cache directory."""
-
-        def _move() -> None:
-            try:
-                self.nvme.write(path, data)
-                self.stats.bump(recached=1)
-            except OSError:
-                pass  # cache full: serveable but not cacheable
-
-        t = threading.Thread(target=_move, name=f"data-mover-{self.node_id}", daemon=True)
-        t.start()
-        self._movers = [m for m in self._movers if m.is_alive()] + [t]

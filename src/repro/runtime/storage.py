@@ -20,6 +20,11 @@ from typing import Optional
 
 __all__ = ["NVMeDir", "PFSDir"]
 
+#: in-flight atomic-write staging files: distinguishable by prefix so scans
+#: (entry_count, the __init__ rescan) can exclude them, and a rescan can
+#: safely unlink leftovers from a writer that died mid-install
+_TMP_PREFIX = ".tmp-"
+
 
 def _entry_name(key: str) -> str:
     """Filesystem-safe cache-entry name for an arbitrary path key."""
@@ -50,8 +55,18 @@ class NVMeDir:
         # rejoin resumes with a sensible (if approximate) LRU order.
         self._lru: "OrderedDict[str, int]" = OrderedDict()
         for f in sorted(self.root.iterdir(), key=lambda f: f.stat().st_mtime):
-            if f.is_file():
-                self._lru[f.name] = f.stat().st_size
+            if not f.is_file():
+                continue
+            if f.name.startswith(_TMP_PREFIX):
+                # Leftover staging file from a writer that died mid-install:
+                # never a valid entry, so reclaim the bytes instead of
+                # counting them into the LRU.
+                try:
+                    f.unlink()
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+                continue
+            self._lru[f.name] = f.stat().st_size
         self._used = sum(self._lru.values())
 
     @property
@@ -96,9 +111,16 @@ class NVMeDir:
                     self._used -= vsize
                     self.evictions += 1
             target = self._path(key)
-            tmp = target.with_suffix(".tmp-%d" % threading.get_ident())
-            tmp.write_bytes(data)
-            os.replace(tmp, target)
+            tmp = self.root / f"{_TMP_PREFIX}{os.getpid()}-{threading.get_ident()}-{name}"
+            try:
+                tmp.write_bytes(data)
+                os.replace(tmp, target)
+            except OSError:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
             self._lru[name] = len(data)
             self._used += len(data)
 
@@ -122,7 +144,11 @@ class NVMeDir:
             self._used = 0
 
     def entry_count(self) -> int:
-        return sum(1 for f in self.root.iterdir() if f.is_file())
+        """Installed entries only — in-flight ``.tmp-*`` staging files are
+        not cache entries and must not inflate occupancy reports."""
+        return sum(
+            1 for f in self.root.iterdir() if f.is_file() and not f.name.startswith(_TMP_PREFIX)
+        )
 
 
 class PFSDir:

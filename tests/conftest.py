@@ -2,10 +2,50 @@
 
 from __future__ import annotations
 
+import sys
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.sim import Environment
+
+#: thread-name prefixes owned by the runtime; anything still alive after the
+#: suite means a handler/mover/chaos thread leaked past its owner's close()
+_RUNTIME_THREAD_PREFIXES = (
+    "ftcache-server-",
+    "data-mover-",
+    "replica-push",
+    "loadgen-chaos",
+    "chaos-monkey",
+)
+
+
+def _leaked_runtime_threads() -> list[threading.Thread]:
+    return [
+        t
+        for t in threading.enumerate()
+        if t.is_alive() and any(t.name.startswith(p) for p in _RUNTIME_THREAD_PREFIXES)
+    ]
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: D103 - pytest hook
+    # Post-suite leaked-thread assertion: a hung handler or mover thread
+    # should fail the build, not wedge it until the CI job timeout.
+    deadline = time.monotonic() + 5.0
+    leaked = _leaked_runtime_threads()
+    while leaked and time.monotonic() < deadline:
+        time.sleep(0.1)
+        leaked = _leaked_runtime_threads()
+    if leaked and exitstatus == 0:
+        names = ", ".join(sorted(t.name for t in leaked))
+        print(
+            f"\nERROR: {len(leaked)} runtime thread(s) leaked past the test "
+            f"suite: {names}",
+            file=sys.stderr,
+        )
+        session.exitstatus = 1
 
 
 @pytest.fixture

@@ -118,7 +118,7 @@ class TestScenarioRun:
             ).run()
             out = report.write_json(tmp_path / "BENCH_loadgen.json")
         data = json.loads(out.read_text())
-        assert data["bench"] == "loadgen" and data["schema_version"] == 1
+        assert data["bench"] == "loadgen" and data["schema_version"] == 2
         assert data["config"]["workload"]["n_files"] == 4
         assert data["totals"]["ops"] == data["phases"][0]["ops"]
         assert data["phases"][0]["latency"]["count"] == data["phases"][0]["ops"]
