@@ -1,0 +1,108 @@
+"""Lint engine: walk files, run rules, apply suppressions, emit findings.
+
+Suppression semantics (enforced here, not in the rules):
+
+* a finding whose line (or anchor line, e.g. the ``with`` statement for
+  RT001) carries ``# ftlint: disable=<RULE> -- why`` is silenced;
+* a suppression without a justification silences its target but emits
+  ``SUP001`` — the tree must never accumulate unexplained escapes;
+* a suppression listing a rule that never fired emits ``SUP002``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .findings import Finding
+from .visitor import ModuleContext
+
+__all__ = ["lint_paths", "lint_source", "collect_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*.py"))
+                if not any(part in _SKIP_DIRS for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def _rules(rule_classes: Optional[Sequence[type]]):
+    if rule_classes is None:
+        from .rules import ALL_RULES  # late import: rules import the visitor base
+
+        rule_classes = ALL_RULES
+    return [cls() for cls in rule_classes]
+
+
+def lint_source(
+    path: str, source: str, rule_classes: Optional[Sequence[type]] = None
+) -> list[Finding]:
+    """Lint one in-memory module; ``path`` scopes path-sensitive rules."""
+    posix = path.replace("\\", "/")
+    try:
+        ctx = ModuleContext.parse(posix, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                path=posix,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    raw: list[Finding] = []
+    for rule in _rules(rule_classes):
+        raw.extend(rule.check(ctx))
+
+    kept: list[Finding] = []
+    for f in raw:
+        sup = ctx.suppression_for(f.rule, (f.line, *f.anchor_lines))
+        if sup is None:
+            kept.append(f)
+        else:
+            sup.mark_used(f.rule)
+
+    for sup in ctx.suppressions.values():
+        if sup.used_rules and not (sup.justification and sup.justification.strip()):
+            kept.append(
+                Finding(
+                    rule="SUP001",
+                    path=posix,
+                    line=sup.line,
+                    message=f"suppression of {sorted(sup.used_rules)} without a "
+                    f"'-- justification' — explain why the hazard does not apply",
+                )
+            )
+        for rule_id in sup.unused_rules:
+            kept.append(
+                Finding(
+                    rule="SUP002",
+                    path=posix,
+                    line=sup.line,
+                    message=f"useless suppression: {rule_id} does not fire here "
+                    f"(stale comments hide future regressions — remove it)",
+                )
+            )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rule_classes: Optional[Sequence[type]] = None
+) -> list[Finding]:
+    """Lint every ``*.py`` under ``paths``; returns sorted findings."""
+    findings: list[Finding] = []
+    for file in collect_files(paths):
+        findings.extend(lint_source(file.as_posix(), file.read_text(), rule_classes))
+    return findings

@@ -1,0 +1,100 @@
+"""Finding and suppression primitives shared by the lint engine and rules.
+
+A :class:`Finding` is one (rule, file, line) diagnostic.  Suppressions
+are inline comments of the form::
+
+    # ftlint: disable=RT001 -- justification for why this is safe
+
+The justification after ``--`` is *mandatory*: a suppression without one
+still silences its target but surfaces as a ``SUP001`` finding, so the
+tree can never accumulate unexplained escape hatches.  A suppression
+whose rule never fires on that line is reported as ``SUP002`` (stale
+suppressions hide real regressions when the code under them changes).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Suppression", "scan_suppressions", "SUPPRESS_RE"]
+
+#: matches the ftlint marker inside a *comment token* (never string bodies)
+SUPPRESS_RE = re.compile(
+    r"#\s*ftlint:\s*disable=(?P<rules>[A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``path:line:col: RULE message``."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    #: extra lines (e.g. the enclosing ``with`` statement) where a
+    #: suppression comment also silences this finding; not serialised
+    anchor_lines: tuple = field(default=(), compare=False)
+
+    def format_human(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# ftlint: disable=...`` comment and its usage bookkeeping."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str | None
+    used_rules: set = field(default_factory=set)
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+    def mark_used(self, rule: str) -> None:
+        self.used_rules.add(rule)
+
+    @property
+    def unused_rules(self) -> tuple[str, ...]:
+        return tuple(r for r in self.rules if r not in self.used_rules)
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line → :class:`Suppression` from real COMMENT tokens only.
+
+    Tokenising (rather than regexing raw lines) keeps ftlint markers
+    inside string literals — e.g. the linter's own fixture-snippet tests
+    — from being misread as live suppressions.
+    """
+    out: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = SUPPRESS_RE.search(tok.string)
+            if not m:
+                continue
+            rules = tuple(r.strip() for r in m.group("rules").split(","))
+            why = m.group("why")
+            out[tok.start[0]] = Suppression(
+                line=tok.start[0], rules=rules, justification=why
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the parse error is reported separately by the engine
+    return out

@@ -1,0 +1,397 @@
+"""Runtime lock-order witness: deadlock and hold-budget detection.
+
+The runtime's locks are created through the :func:`named_lock` /
+:func:`named_condition` factories.  When the witness is disabled (the
+default outside the test suite) they return plain ``threading`` objects
+— zero overhead.  When enabled (the conftest fixture turns it on for
+every pytest run) each lock is wrapped so that, per thread, the witness
+records:
+
+* the **lock-order graph**: an edge ``A → B`` whenever a thread acquires
+  lock-role ``B`` while holding lock-role ``A``.  A cycle in this graph
+  is a potential deadlock even if the schedule that triggers it never
+  occurred during the run — exactly the class of bug that is hopeless to
+  reproduce and cheap to prove.
+* **hold budgets**: a lock held longer than ``hold_budget`` seconds is
+  reported with its acquisition site.  Long holds are the latency
+  amplifier behind lock-convoy cliffs (and the dynamic twin of the
+  RT001 lint rule).
+* **re-entry**: re-acquiring the *same* non-reentrant lock instance on
+  one thread — a guaranteed self-deadlock.
+
+Edges are keyed by lock *name* (role), not instance: "the stats lock"
+and "the mover condition" are roles shared by every server.  Two
+instances of the same role are never ordered against each other (a
+documented blind spot — ordering instances would need a global instance
+ranking, which the runtime does not promise).
+
+Condition ``wait()`` is modelled faithfully: the lock is released for
+the duration of the wait, so wait time never counts against the hold
+budget and edges are not recorded from a lock the thread gave up.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "LockWitness",
+    "LockOrderViolation",
+    "named_lock",
+    "named_condition",
+    "enable",
+    "disable",
+    "is_enabled",
+    "report",
+    "find_cycles",
+    "reset",
+    "assert_clean",
+]
+
+_THIS_FILE = __file__
+
+#: cap per-category evidence so a pathological run cannot eat memory
+_MAX_RECORDS = 50
+
+
+class LockOrderViolation(AssertionError):
+    """Raised by :func:`assert_clean` when the witness saw a hazard."""
+
+
+def _call_site() -> str:
+    """filename:lineno of the nearest frame outside this module."""
+    f = sys._getframe(1)
+    while f is not None and f.f_code.co_filename == _THIS_FILE:
+        f = f.f_back
+    if f is None:  # pragma: no cover - only if called from module level
+        return "<unknown>"
+    return f"{f.f_code.co_filename}:{f.f_lineno}"
+
+
+class LockWitness:
+    """One independent witness: a lock-order graph plus hold accounting."""
+
+    def __init__(self, hold_budget: float = 2.0):
+        if hold_budget <= 0:
+            raise ValueError("hold_budget must be positive")
+        self.hold_budget = hold_budget
+        self._mu = threading.Lock()  # guards the shared records below
+        #: (held_role, acquired_role) -> {"thread", "site", "count"}
+        self._edges: dict[tuple[str, str], dict] = {}
+        self._hold_violations: list[dict] = []
+        self._reentries: list[dict] = []
+        self._tls = threading.local()
+
+    # -- factories ---------------------------------------------------------------
+    def named_lock(self, name: str) -> "_WitnessLock":
+        return _WitnessLock(self, name)
+
+    def named_condition(self, name: str) -> "_WitnessCondition":
+        return _WitnessCondition(self, name)
+
+    # -- per-thread bookkeeping ----------------------------------------------------
+    def _held(self) -> list:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    def _before_acquire(self, lock: "_WitnessLock | _WitnessCondition") -> None:
+        """Record edges/re-entry at the *attempt*, before potentially blocking
+        — that is the moment the deadlock potential exists."""
+        held = self._held()
+        if not held:
+            return
+        site = None
+        for role, obj_id, _t in held:
+            if role == lock._name:
+                if obj_id == id(lock):
+                    site = site or _call_site()
+                    with self._mu:
+                        if len(self._reentries) < _MAX_RECORDS:
+                            self._reentries.append({
+                                "lock": role,
+                                "thread": threading.current_thread().name,
+                                "site": site,
+                            })
+                continue  # same role, different instance: unordered (see module doc)
+            key = (role, lock._name)
+            with self._mu:
+                info = self._edges.get(key)
+                if info is not None:
+                    info["count"] += 1
+                    continue
+            site = site or _call_site()
+            with self._mu:
+                self._edges.setdefault(key, {
+                    "thread": threading.current_thread().name,
+                    "site": site,
+                    "count": 0,
+                })["count"] += 1
+
+    def _after_acquire(self, lock) -> None:
+        self._held().append((lock._name, id(lock), time.monotonic()))
+
+    def _on_release(self, lock) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            role, obj_id, t_acq = held[i]
+            if obj_id == id(lock):
+                del held[i]
+                held_for = time.monotonic() - t_acq
+                if held_for > self.hold_budget:
+                    with self._mu:
+                        if len(self._hold_violations) < _MAX_RECORDS:
+                            self._hold_violations.append({
+                                "lock": role,
+                                "held_s": round(held_for, 4),
+                                "budget_s": self.hold_budget,
+                                "thread": threading.current_thread().name,
+                                "site": _call_site(),
+                            })
+                return
+
+    # -- analysis ----------------------------------------------------------------
+    def find_cycles(self) -> list[list[str]]:
+        """Strongly-connected components of the order graph with >1 role —
+        each is a potential deadlock (Tarjan, iterative)."""
+        with self._mu:
+            adj: dict[str, set[str]] = {}
+            for a, b in self._edges:
+                adj.setdefault(a, set()).add(b)
+                adj.setdefault(b, set())
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        cycles: list[list[str]] = []
+
+        for root in sorted(adj):
+            if root in index:
+                continue
+            work = [(root, iter(sorted(adj[root])))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(sorted(adj[nxt]))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        cycles.append(sorted(scc))
+        return cycles
+
+    def report(self) -> dict:
+        with self._mu:
+            edges = [
+                {"from": a, "to": b, **info} for (a, b), info in sorted(self._edges.items())
+            ]
+            holds = list(self._hold_violations)
+            reentries = list(self._reentries)
+        return {
+            "edges": edges,
+            "cycles": self.find_cycles(),
+            "hold_violations": holds,
+            "reentries": reentries,
+        }
+
+    def assert_clean(self) -> None:
+        rep = self.report()
+        problems = []
+        for cyc in rep["cycles"]:
+            involved = [e for e in rep["edges"] if e["from"] in cyc and e["to"] in cyc]
+            detail = "; ".join(
+                f"{e['from']}→{e['to']} ({e['thread']} at {e['site']}, ×{e['count']})"
+                for e in involved
+            )
+            problems.append(f"lock-order cycle {' ↔ '.join(cyc)}: {detail}")
+        for v in rep["hold_violations"]:
+            problems.append(
+                f"lock '{v['lock']}' held {v['held_s']}s > budget {v['budget_s']}s "
+                f"by {v['thread']} (released at {v['site']})"
+            )
+        for r in rep["reentries"]:
+            problems.append(
+                f"non-reentrant lock '{r['lock']}' re-acquired on {r['thread']} "
+                f"at {r['site']} (guaranteed self-deadlock)"
+            )
+        if problems:
+            raise LockOrderViolation("\n".join(problems))
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+            self._hold_violations.clear()
+            self._reentries.clear()
+
+
+class _WitnessLock:
+    """A named, witnessed ``threading.Lock`` drop-in."""
+
+    def __init__(self, witness: LockWitness, name: str):
+        self._witness = witness
+        self._name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._witness._before_acquire(self)
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self._witness._after_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._witness._on_release(self)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<WitnessLock {self._name!r} {self._lock!r}>"
+
+
+class _WitnessCondition:
+    """A named, witnessed ``threading.Condition`` drop-in.
+
+    ``wait()`` releases the underlying lock, so the witness marks the
+    role released for the duration (wait time must not count as hold
+    time, and edges must not originate from a lock the thread gave up).
+    """
+
+    def __init__(self, witness: LockWitness, name: str):
+        self._witness = witness
+        self._name = name
+        self._cond = threading.Condition()
+
+    # -- lock protocol -----------------------------------------------------------
+    def acquire(self, *args) -> bool:
+        self._witness._before_acquire(self)
+        ok = self._cond.acquire(*args)
+        if ok:
+            self._witness._after_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._witness._on_release(self)
+        self._cond.release()
+
+    def __enter__(self) -> "_WitnessCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- condition protocol --------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._witness._on_release(self)  # wait() releases the lock...
+        try:
+            return self._cond.wait(timeout)
+        finally:
+            self._witness._after_acquire(self)  # ...and re-acquires before returning
+
+    def wait_for(self, predicate, timeout: Optional[float] = None):
+        end = None if timeout is None else time.monotonic() + timeout
+        result = predicate()
+        while not result:
+            remaining = None if end is None else end - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                break
+            self.wait(remaining)
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<WitnessCondition {self._name!r}>"
+
+
+# -- module-level default witness (what the runtime factories use) -------------------
+_default = LockWitness()
+_enabled = False
+
+
+def enable(hold_budget: Optional[float] = None) -> None:
+    """Turn witnessing on for locks created *after* this call."""
+    global _enabled
+    if hold_budget is not None:
+        _default.hold_budget = hold_budget
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def named_lock(name: str, witness: Optional[bool] = None):
+    """A lock for role ``name``: witnessed iff enabled (or forced via
+    ``witness=True/False``); otherwise a plain ``threading.Lock``."""
+    use = _enabled if witness is None else witness
+    return _default.named_lock(name) if use else threading.Lock()
+
+
+def named_condition(name: str, witness: Optional[bool] = None):
+    use = _enabled if witness is None else witness
+    return _default.named_condition(name) if use else threading.Condition()
+
+
+def report() -> dict:
+    return _default.report()
+
+
+def find_cycles() -> list[list[str]]:
+    return _default.find_cycles()
+
+
+def reset() -> None:
+    _default.reset()
+
+
+def assert_clean() -> None:
+    _default.assert_clean()

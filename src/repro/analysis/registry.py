@@ -1,0 +1,135 @@
+"""CNT001 — counter-registry drift.
+
+The runtime keeps every monotone counter name in one registry constant
+(``STAT_COUNTER_KEYS`` in the server, ``CLIENT_COUNTER_KEYS`` in the
+client) precisely so STAT responses, snapshots, and bench JSON can never
+silently diverge from the counters actually maintained.  This rule makes
+the convention load-bearing: in any module that *defines* a
+``*_COUNTER_KEYS`` tuple it cross-checks
+
+* a stats class (one with public ``int``-annotated fields and a
+  ``bump``/``counters`` method): its field set must equal the registry;
+* every ``.bump(...)`` / ``._bump(...)`` keyword in the module must name
+  a registered counter;
+* when there is no stats class, every registered counter must be bumped
+  somewhere in the module (a registry key nothing increments is dead
+  weight in every snapshot).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .findings import Finding
+from .visitor import ModuleContext, Rule
+
+__all__ = ["CounterRegistryRule"]
+
+_REGISTRY_NAME_RE = re.compile(r"^[A-Z][A-Z0-9_]*_COUNTER_KEYS$")
+
+
+def _registry_assignments(tree: ast.Module) -> dict[str, tuple[ast.Assign, list[str]]]:
+    out: dict[str, tuple[ast.Assign, list[str]]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and _REGISTRY_NAME_RE.match(target.id)):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            keys = [
+                elt.value
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+            out[target.id] = (node, keys)
+    return out
+
+
+def _stats_classes(tree: ast.Module) -> list[tuple[ast.ClassDef, set[str]]]:
+    """Classes with public int-annotated fields plus a bump/counters method."""
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {n.name for n in node.body if isinstance(n, ast.FunctionDef)}
+        if not ({"bump", "counters"} & methods):
+            continue
+        fields = {
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not stmt.target.id.startswith("_")
+            and isinstance(stmt.annotation, ast.Name)
+            and stmt.annotation.id == "int"
+        }
+        if fields:
+            found.append((node, fields))
+    return found
+
+
+def _bump_kwargs(tree: ast.Module) -> list[tuple[ast.Call, str]]:
+    out = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("bump", "_bump")
+        ):
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    out.append((node, kw.arg))
+    return out
+
+
+class CounterRegistryRule(Rule):
+    rule_id = "CNT001"
+    description = "counter registry out of sync with stats fields / bump sites"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        registries = _registry_assignments(ctx.tree)
+        if not registries:
+            return
+        registered: set[str] = set()
+        for reg_name, (node, keys) in registries.items():
+            dupes = {k for k in keys if keys.count(k) > 1}
+            if dupes:
+                yield self.finding(ctx, node, f"duplicate keys in {reg_name}: {sorted(dupes)}")
+            registered |= set(keys)
+
+        classes = _stats_classes(ctx.tree)
+        for cls, fields in classes:
+            missing = sorted(fields - registered)
+            extra = sorted(registered - fields)
+            if missing:
+                yield self.finding(
+                    ctx, cls,
+                    f"counter field(s) {missing} of {cls.name} missing from the "
+                    f"*_COUNTER_KEYS registry — snapshots will silently omit them",
+                )
+            if extra:
+                yield self.finding(
+                    ctx, cls,
+                    f"registry key(s) {extra} have no counter field on {cls.name} — "
+                    f"snapshot/STAT reads would raise or report garbage",
+                )
+
+        bumped: set[str] = set()
+        for call, kwarg in _bump_kwargs(ctx.tree):
+            bumped.add(kwarg)
+            if kwarg not in registered:
+                yield self.finding(
+                    ctx, call,
+                    f"bump of unregistered counter '{kwarg}' — add it to the "
+                    f"*_COUNTER_KEYS registry or it will never be reported",
+                )
+        if not classes and bumped:
+            for key in sorted(registered - bumped):
+                yield self.finding(
+                    ctx, registries[next(iter(registries))][0],
+                    f"registered counter '{key}' is never bumped in this module — "
+                    f"dead registry keys hide real drift",
+                )

@@ -27,11 +27,11 @@ implementation lives in :mod:`repro.core.avl` for the ablation study.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 import numpy as np
 
-from .hashing import bulk_hash64, hash64
+from .hashing import hash64
 from .placement import Key, NodeId, PlacementPolicy
 
 __all__ = ["HashRing", "EmptyRingError", "DEFAULT_VNODES"]

@@ -22,13 +22,11 @@ The ``repro.dl.fastsim`` fluid model accepts ``replication=k`` and the
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from .hash_ring import HashRing
 from .fault_policy import ElasticRecache
-from .hashing import bulk_hash64, hash64, splitmix64
+from .hashing import hash64, splitmix64
 from .placement import Key, NodeId
 
 __all__ = ["ReplicatedRecache", "salted_hashes", "salt_hash"]

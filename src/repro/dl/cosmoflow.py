@@ -10,8 +10,6 @@ scale each reproduced figure used.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from .dataset import Dataset
 
 __all__ = [

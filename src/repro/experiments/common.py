@@ -8,7 +8,7 @@ records which scale produced each reported number.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..dl.training import TrainingConfig
 

@@ -12,7 +12,7 @@ compares that epoch's duration across three scenarios at 64–1024 nodes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -15,7 +15,7 @@ requests being *served* when it dies produce no response either.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..sim import AnyOf, Environment, Event, Store

@@ -19,7 +19,7 @@ import sys
 
 from ..runtime.cluster import LocalCluster
 from .drivers import DriverConfig
-from .scenario import ChaosEvent, PhaseSpec, Scenario, ScenarioReport
+from .scenario import ChaosEvent, PhaseSpec, Scenario
 from .workload import Workload, WorkloadSpec
 
 __all__ = ["main", "build_scenario", "render_phase_line", "PHASE_HEADER"]

@@ -31,6 +31,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis import lockwitness
 from ..core.fault_policy import UnrecoverableNodeFailure
 from ..metrics import LatencyHistogram
 from ..runtime.client import FTCacheClient, ReadError
@@ -93,7 +94,7 @@ class HookRecorder:
     def __init__(self) -> None:
         self._local = threading.local()
         self._parts: list[tuple[LatencyHistogram, Counter]] = []
-        self._lock = threading.Lock()
+        self._lock = lockwitness.named_lock("loadgen-recorder")
 
     def _slot(self) -> tuple[LatencyHistogram, Counter]:
         slot = getattr(self._local, "slot", None)

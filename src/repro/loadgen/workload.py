@@ -16,9 +16,7 @@ with the same seed and worker count issue byte-identical op sequences.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
-
+from dataclasses import dataclass
 import numpy as np
 
 from ..runtime.storage import PFSDir

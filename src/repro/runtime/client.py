@@ -37,15 +37,32 @@ import threading
 import time
 from typing import Callable, Hashable, Optional
 
+from ..analysis import lockwitness
 from ..core.failure_detector import TimeoutFailureDetector
 from ..core.fault_policy import FaultPolicy
 from ..core.replication import ReplicatedRecache
 from .protocol import OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
 from .storage import PFSDir
 
-__all__ = ["FTCacheClient", "ReadError"]
+__all__ = ["FTCacheClient", "ReadError", "CLIENT_COUNTER_KEYS"]
 
 NodeId = Hashable
+
+#: every monotone client-side counter, in one place so ``stats`` snapshots,
+#: bench JSON, and the CNT001 registry-drift lint can never diverge from
+#: the counters the client actually maintains
+CLIENT_COUNTER_KEYS = (
+    "server_cache_reads",
+    "server_pfs_reads",
+    "pfs_direct_reads",
+    "timeouts",
+    "declared",
+    "failovers",
+    "replica_pushes",
+    "writes",
+    "cache_installs",
+    "reconnects",
+)
 
 
 class ReadError(RuntimeError):
@@ -100,24 +117,13 @@ class FTCacheClient:
         self.max_reroute_rounds = max_reroute_rounds
         self.on_op = on_op
         self._pool = _ConnectionPool()
-        self._policy_lock = threading.Lock()
+        self._policy_lock = lockwitness.named_lock("client-policy")
         #: node → connection epoch; bumped on admit_node and on failure
         #: declaration so every thread's pool drops stale sockets lazily
         self._node_epoch: dict[NodeId, int] = {}
-        self._epoch_lock = threading.Lock()
-        self._counts = {
-            "server_cache_reads": 0,
-            "server_pfs_reads": 0,
-            "pfs_direct_reads": 0,
-            "timeouts": 0,
-            "declared": 0,
-            "failovers": 0,
-            "replica_pushes": 0,
-            "writes": 0,
-            "cache_installs": 0,
-            "reconnects": 0,
-        }
-        self._stats_lock = threading.Lock()
+        self._epoch_lock = lockwitness.named_lock("client-epoch")
+        self._counts = {k: 0 for k in CLIENT_COUNTER_KEYS}
+        self._stats_lock = lockwitness.named_lock("client-stats")
 
     @property
     def stats(self) -> dict:

@@ -16,6 +16,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from ..analysis import lockwitness
 from ..sim.rng import derive_seed
 from .client import FTCacheClient
 
@@ -97,7 +98,7 @@ class CachedDataLoader:
         done = threading.Event()
         work: "queue.Queue[Optional[tuple[int, np.ndarray]]]" = queue.Queue()
         ready = threading.Semaphore(0)
-        lock = threading.Lock()
+        lock = lockwitness.named_lock("loader-results")
 
         for item in enumerate(batches):
             work.put(item)

@@ -29,6 +29,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from functools import partial
+
+from ..analysis import lockwitness
 from .protocol import OP_PING, OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
 from .storage import NVMeDir, PFSDir
 
@@ -63,7 +66,9 @@ class ServerStats:
     mover_enqueued: int = 0
     mover_coalesced: int = 0
     mover_dropped: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=partial(lockwitness.named_lock, "server-stats"), repr=False
+    )
 
     def bump(self, **deltas: int) -> None:
         with self._lock:
@@ -111,7 +116,7 @@ class DataMoverPool:
         self.stats = stats
         self.workers = workers
         self.queue_depth = queue_depth
-        self._cond = threading.Condition()
+        self._cond = lockwitness.named_condition("mover-cond")
         self._queue: "OrderedDict[str, bytes]" = OrderedDict()
         self._inflight: set[str] = set()
         self._closed = False
@@ -244,7 +249,7 @@ class FTCacheServer:
         #: accepted connections, severed on close() so pooled client sockets
         #: observe a restart instead of silently talking to a dead instance
         self._conns: set[socket.socket] = set()
-        self._conns_lock = threading.Lock()
+        self._conns_lock = lockwitness.named_lock("server-conns")
         self._alive = False
 
     # -- lifecycle -----------------------------------------------------------------

@@ -18,6 +18,8 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional
 
+from ..analysis import lockwitness
+
 __all__ = ["NVMeDir", "PFSDir"]
 
 #: in-flight atomic-write staging files: distinguishable by prefix so scans
@@ -49,7 +51,7 @@ class NVMeDir:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.capacity_bytes = capacity_bytes
-        self._lock = threading.Lock()
+        self._lock = lockwitness.named_lock("nvme-lru")
         self.evictions = 0
         # Recency order for surviving entries: oldest mtime first, so a warm
         # rejoin resumes with a sensible (if approximate) LRU order.
@@ -97,7 +99,11 @@ class NVMeDir:
         if self.capacity_bytes is not None and len(data) > self.capacity_bytes:
             raise OSError(f"entry of {len(data)} bytes exceeds cache capacity {self.capacity_bytes}")
         name = _entry_name(key)
-        with self._lock:
+        # The stage/rename/unlink I/O stays inside the critical section on purpose:
+        # eviction choice, byte accounting, and the install must commit atomically
+        # (a reader may race an eviction; the accounting may not).  Everything here
+        # is local-NVMe single-entry I/O, never network or unbounded waits.
+        with self._lock:  # ftlint: disable=RT001 -- atomic install: accounting+file ops must commit together (local NVMe, bounded)
             old_size = self._lru.pop(name, None)
             if old_size is not None:
                 self._used -= old_size
@@ -126,7 +132,9 @@ class NVMeDir:
 
     def drop(self, key: str) -> None:
         path = self._path(key)
-        with self._lock:
+        # Same contract as write(): the stat/unlink must be atomic with the
+        # accounting update or a concurrent write() would double-count bytes.
+        with self._lock:  # ftlint: disable=RT001 -- unlink must be atomic with LRU accounting (local NVMe, single entry)
             try:
                 size = path.stat().st_size
                 path.unlink()
@@ -136,12 +144,20 @@ class NVMeDir:
             self._used = max(0, self._used - size)
 
     def clear(self) -> None:
+        """Empty the cache.  Only the accounting reset runs under the lock
+        (RT001: a whole-directory unlink loop is unbounded I/O and has no
+        business in a critical section); every installed entry is LRU-tracked,
+        so the snapshot of names taken under the lock is complete, and the
+        unlinks proceed outside it exactly like evictions racing readers."""
         with self._lock:
-            for f in self.root.iterdir():
-                if f.is_file():
-                    f.unlink()
+            victims = list(self._lru)
             self._lru.clear()
             self._used = 0
+        for name in victims:
+            try:
+                (self.root / name).unlink()
+            except FileNotFoundError:
+                pass
 
     def entry_count(self) -> int:
         """Installed entries only — in-flight ``.tmp-*`` staging files are
@@ -161,7 +177,7 @@ class PFSDir:
             raise ValueError("read_delay must be >= 0")
         self.read_delay = read_delay
         self._reads = 0
-        self._lock = threading.Lock()
+        self._lock = lockwitness.named_lock("pfs-reads")
 
     @property
     def reads(self) -> int:

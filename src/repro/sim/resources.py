@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from .engine import Environment, Event, Process, SimulationError
+from .engine import Environment, Event
 
 __all__ = ["Resource", "Request", "Store", "SharedBandwidth", "Preempted"]
 

@@ -46,7 +46,7 @@ def bar_chart(
     if any(v < 0 for v in values):
         raise ValueError("bar_chart takes non-negative values")
     vmax = max(values) or 1.0
-    label_w = max(len(str(l)) for l in labels)
+    label_w = max(len(str(lab)) for lab in labels)
     lines = [title] if title else []
     for label, v in zip(labels, values):
         filled = v / vmax * width

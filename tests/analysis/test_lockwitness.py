@@ -1,0 +1,240 @@
+"""Tests for the runtime lock-order witness.
+
+Hazard-seeding tests build their own :class:`LockWitness` instances so the
+session-wide default witness (enabled by conftest, asserted clean at session
+end) never sees the deliberately poisoned schedules.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import lockwitness
+from repro.analysis.lockwitness import LockOrderViolation, LockWitness
+
+
+def _run_sequential(*targets):
+    """Run each target on its own thread, one after another — exercises the
+    per-thread bookkeeping without any chance of an actual deadlock."""
+    for i, fn in enumerate(targets):
+        t = threading.Thread(target=fn, name=f"lw-test-{i}", daemon=True)
+        t.start()
+        t.join(timeout=5)
+        assert not t.is_alive(), f"seed thread {i} wedged"
+
+
+def _seed_ab_ba(lock_a, lock_b):
+    def first():
+        with lock_a:
+            with lock_b:
+                pass
+
+    def second():
+        with lock_b:
+            with lock_a:
+                pass
+
+    _run_sequential(first, second)
+
+
+class TestCycleDetection:
+    def test_seeded_ab_ba_cycle_detected_when_enabled(self):
+        w = LockWitness()
+        _seed_ab_ba(w.named_lock("A"), w.named_lock("B"))
+
+        assert w.find_cycles() == [["A", "B"]]
+        with pytest.raises(LockOrderViolation) as exc:
+            w.assert_clean()
+        msg = str(exc.value)
+        assert "A→B" in msg and "B→A" in msg
+        # Evidence includes the acquisition site of each edge.
+        assert __file__ in msg
+
+    def test_seeded_cycle_invisible_when_detection_disabled(self):
+        # The detector is load-bearing: the exact same AB/BA schedule through
+        # un-witnessed (plain threading) locks records nothing, so the cycle
+        # assertion above would fail if detection were turned off.
+        _seed_ab_ba(
+            lockwitness.named_lock("seed-A", witness=False),
+            lockwitness.named_lock("seed-B", witness=False),
+        )
+        seen = {role for cyc in lockwitness.find_cycles() for role in cyc}
+        assert "seed-A" not in seen and "seed-B" not in seen
+
+    def test_consistent_order_is_clean(self):
+        w = LockWitness()
+        a, b = w.named_lock("A"), w.named_lock("B")
+
+        def nested():
+            with a:
+                with b:
+                    pass
+
+        _run_sequential(nested, nested)
+        rep = w.report()
+        assert [(e["from"], e["to"]) for e in rep["edges"]] == [("A", "B")]
+        assert rep["edges"][0]["count"] == 2
+        assert rep["cycles"] == []
+        w.assert_clean()
+
+    def test_three_role_cycle_detected(self):
+        w = LockWitness()
+        a, b, c = (w.named_lock(n) for n in "ABC")
+
+        def ab():
+            with a, b:
+                pass
+
+        def bc():
+            with b, c:
+                pass
+
+        def ca():
+            with c, a:
+                pass
+
+        _run_sequential(ab, bc, ca)
+        assert w.find_cycles() == [["A", "B", "C"]]
+
+    def test_same_role_different_instances_unordered(self):
+        # Two servers' stats locks share a role; nesting them is deliberately
+        # not treated as an ordering fact (documented blind spot), so no
+        # self-edge / bogus cycle appears.
+        w = LockWitness()
+        s1, s2 = w.named_lock("server-stats"), w.named_lock("server-stats")
+
+        def nested():
+            with s1:
+                with s2:
+                    pass
+
+        _run_sequential(nested)
+        rep = w.report()
+        assert rep["edges"] == [] and rep["cycles"] == [] and rep["reentries"] == []
+
+
+class TestHoldBudget:
+    def test_over_budget_hold_reported(self):
+        w = LockWitness(hold_budget=0.02)
+        lock = w.named_lock("slow")
+
+        def holder():
+            with lock:
+                time.sleep(0.06)  # ftlint: disable=RT001 -- deliberate over-budget hold: this test seeds the hazard the witness must catch
+
+        _run_sequential(holder)
+        rep = w.report()
+        assert len(rep["hold_violations"]) == 1
+        v = rep["hold_violations"][0]
+        assert v["lock"] == "slow" and v["held_s"] > 0.02
+        with pytest.raises(LockOrderViolation, match="held .*budget"):
+            w.assert_clean()
+
+    def test_fast_hold_clean(self):
+        w = LockWitness(hold_budget=0.5)
+        lock = w.named_lock("fast")
+
+        def holder():
+            with lock:
+                pass
+
+        _run_sequential(holder)
+        assert w.report()["hold_violations"] == []
+
+    def test_condition_wait_not_counted_as_hold(self):
+        # wait() releases the lock; a 0.1s wait under a 0.03s budget must not
+        # trip the budget because the thread is not *holding* during the wait.
+        w = LockWitness(hold_budget=0.03)
+        cond = w.named_condition("cond")
+
+        def waiter():
+            with cond:
+                cond.wait(timeout=0.1)
+
+        _run_sequential(waiter)
+        assert w.report()["hold_violations"] == []
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            LockWitness(hold_budget=0)
+
+
+class TestReentry:
+    def test_same_instance_reentry_detected(self):
+        w = LockWitness()
+        lock = w.named_lock("mutex")
+
+        def reenter():
+            lock.acquire()
+            try:
+                # Would self-deadlock if it blocked forever; the witness
+                # records the hazard at the *attempt*, before blocking.
+                assert lock.acquire(True, 0.05) is False
+            finally:
+                lock.release()
+
+        _run_sequential(reenter)
+        rep = w.report()
+        assert len(rep["reentries"]) == 1
+        assert rep["reentries"][0]["lock"] == "mutex"
+        with pytest.raises(LockOrderViolation, match="re-acquired"):
+            w.assert_clean()
+
+
+class TestConditionSemantics:
+    def test_wait_notify_round_trip(self):
+        w = LockWitness()
+        cond = w.named_condition("cond")
+        box = []
+
+        def consumer():
+            with cond:
+                ok = cond.wait_for(lambda: bool(box), timeout=5)
+                assert ok and box == ["item"]
+
+        t = threading.Thread(target=consumer, name="lw-consumer", daemon=True)
+        t.start()
+        time.sleep(0.05)
+        with cond:
+            box.append("item")
+            cond.notify_all()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        w.assert_clean()
+
+    def test_wait_for_timeout(self):
+        w = LockWitness()
+        cond = w.named_condition("cond")
+        with cond:
+            assert cond.wait_for(lambda: False, timeout=0.05) is False
+
+
+class TestFactories:
+    def test_forced_off_returns_plain_primitives(self):
+        lock = lockwitness.named_lock("x", witness=False)
+        cond = lockwitness.named_condition("x", witness=False)
+        assert isinstance(lock, type(threading.Lock()))
+        assert isinstance(cond, threading.Condition)
+
+    def test_forced_on_returns_witnessed_wrappers(self):
+        lock = lockwitness.named_lock("x", witness=True)
+        cond = lockwitness.named_condition("x", witness=True)
+        assert type(lock).__name__ == "_WitnessLock"
+        assert type(cond).__name__ == "_WitnessCondition"
+        # Both still satisfy the lock protocol.
+        with lock:
+            assert lock.locked()
+        with cond:
+            pass
+
+    def test_reset_clears_records(self):
+        w = LockWitness()
+        _seed_ab_ba(w.named_lock("A"), w.named_lock("B"))
+        assert w.find_cycles()
+        w.reset()
+        rep = w.report()
+        assert rep["edges"] == [] and rep["cycles"] == []
+        w.assert_clean()

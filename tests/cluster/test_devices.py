@@ -1,6 +1,5 @@
 """Tests for NVMe, network, and PFS device models."""
 
-import numpy as np
 import pytest
 from dataclasses import replace
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dl import ElasticConfig, StepBarrier
-from repro.sim import Environment
 from tests.conftest import run_proc
 
 

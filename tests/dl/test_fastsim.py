@@ -47,7 +47,9 @@ class TestBasicRuns:
         assert res.epoch_times[0] == pytest.approx(res.epoch_times[1], rel=0.05)
 
     def test_deterministic(self):
-        run = lambda: FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), 2, seed=4).run().total_time
+        def run():
+            return FluidTrainingModel(quiet_cc(), DS, "FT w/ NVMe", cfg(), 2, seed=4).run().total_time
+
         assert run() == run()
 
     def test_pfs_accounting_cold_epoch(self):

@@ -1,7 +1,5 @@
 """Tests for the experiment-scale presets."""
 
-import pytest
-
 from repro.dl import TrainingConfig
 from repro.experiments import PAPER_FAILURES, PAPER_NODE_COUNTS, ExperimentScale
 

@@ -1,7 +1,5 @@
 """Edge-case tests for the HVAC client's safety valves."""
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.cluster.config import MiB
 from repro.core import StaticHash, Target

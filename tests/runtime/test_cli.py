@@ -107,7 +107,7 @@ class TestCommands:
                 ]
             )
 
-        t = threading.Thread(target=run)
+        t = threading.Thread(target=run, name="cli-run", daemon=True)
         t.start()
         t.join(timeout=5)
         assert not t.is_alive()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime import CachedDataLoader, LocalCluster
+from repro.runtime import CachedDataLoader, LocalCluster, ReadError
 
 
 @pytest.fixture(scope="module")
@@ -90,5 +90,5 @@ class TestThreadedWorkers:
         client = cluster.client()
         bad = cluster.paths[:3] + ["/dataset/train/not-there.bin"]
         loader = CachedDataLoader(bad, client, batch_size=2, shuffle=False, num_workers=2)
-        with pytest.raises(Exception):
+        with pytest.raises(ReadError):
             list(loader)

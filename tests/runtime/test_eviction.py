@@ -7,8 +7,6 @@ degrade to a PFS miss, never surface as a client-visible error.
 
 import threading
 
-import pytest
-
 from repro.runtime import LocalCluster
 from repro.runtime.server import FTCacheServer
 from repro.runtime.storage import NVMeDir, PFSDir
@@ -115,7 +113,10 @@ class TestEvictionRaceRegression:
                 except Exception as exc:  # pragma: no cover - failure path
                     errors.append(exc)
 
-            threads = [threading.Thread(target=hammer, args=(k * 11,)) for k in range(4)]
+            threads = [
+                threading.Thread(target=hammer, args=(k * 11,), name=f"evict-hammer-{k}", daemon=True)
+                for k in range(4)
+            ]
             for t in threads:
                 t.start()
             for t in threads:

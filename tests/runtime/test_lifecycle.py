@@ -102,7 +102,10 @@ class TestStaleSocketRegression:
                 except Exception as exc:  # pragma: no cover - failure path
                     errors.append(exc)
 
-            threads = [threading.Thread(target=reader, args=(k,)) for k in range(2)]
+            threads = [
+                threading.Thread(target=reader, args=(k,), name=f"lifecycle-reader-{k}", daemon=True)
+                for k in range(2)
+            ]
             for t in threads:
                 t.start()
             barrier.wait(timeout=5)

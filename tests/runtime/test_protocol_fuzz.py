@@ -34,7 +34,7 @@ class TestProtocolRoundTrip:
             def reader():
                 out["msg"] = recv_message(b)
 
-            t = threading.Thread(target=reader)
+            t = threading.Thread(target=reader, name="fuzz-frame-reader", daemon=True)
             t.start()
             send_message(a, Message(header=dict(header), payload=payload))
             t.join(timeout=5)
@@ -59,7 +59,7 @@ class TestProtocolRoundTrip:
                 for _ in payloads:
                     received.append(recv_message(b).payload)
 
-            t = threading.Thread(target=reader)
+            t = threading.Thread(target=reader, name="fuzz-order-reader", daemon=True)
             t.start()
             for i, p in enumerate(payloads):
                 send_message(a, Message(header={"i": i}, payload=p))

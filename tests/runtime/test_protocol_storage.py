@@ -44,7 +44,7 @@ class TestProtocol:
         def reader():
             out["msg"] = recv_message(b)
 
-        t = threading.Thread(target=reader)
+        t = threading.Thread(target=reader, name="protocol-reader", daemon=True)
         t.start()
         try:
             send_message(a, Message.ok_response(payload=data))

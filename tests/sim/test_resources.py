@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, Environment, Resource, SharedBandwidth, Store
+from repro.sim import AllOf, Resource, SharedBandwidth, Store
 from tests.conftest import run_proc
 
 
