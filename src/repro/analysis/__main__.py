@@ -2,7 +2,13 @@
 
 Exit status 0 when the tree is clean, 1 when any finding survives
 suppression — so CI can gate on it directly.  ``--format json`` (plus
-``--out``) emits a machine-readable findings artifact.
+``--out``) emits a machine-readable findings artifact; ``--lock-graph``
+additionally writes the static lock-acquisition-order graph that the
+test suite cross-checks against the runtime lock witness.
+
+Results are cached per file (mtime+hash) in ``.ftlint-cache.json`` by
+default; ``--no-cache`` bypasses it and ``--cache-file`` relocates it.
+Cache-hit statistics appear under ``"cache"`` in the JSON payload.
 """
 
 from __future__ import annotations
@@ -12,22 +18,36 @@ import json
 import sys
 from collections import Counter
 
-from .engine import lint_paths
+from .cache import DEFAULT_CACHE_FILE, AnalysisCache
+from .engine import ALL_PROJECT_RULES, run_lint_paths
 from .rules import ALL_RULES
 
 __all__ = ["main"]
 
 
-def _findings_json(paths: list[str], findings) -> dict:
-    return {
+def _rule_catalogue() -> dict:
+    rules = {cls.rule_id: cls.description for cls in ALL_RULES}
+    for cls in ALL_PROJECT_RULES():
+        for rule_id, description in cls.rules:
+            rules[rule_id] = description
+    rules["SUP001"] = "suppression without a justification"
+    rules["SUP002"] = "suppression whose rule never fires"
+    return rules
+
+
+def _findings_json(paths: list[str], result) -> dict:
+    findings = result.findings
+    payload = {
         "tool": "repro.analysis",
-        "schema_version": 1,
+        "schema_version": 2,
         "paths": paths,
-        "rules": {cls.rule_id: cls.description for cls in ALL_RULES},
+        "rules": _rule_catalogue(),
         "total": len(findings),
         "counts": dict(sorted(Counter(f.rule for f in findings).items())),
         "findings": [f.to_dict() for f in findings],
+        "cache": result.cache_stats or {"enabled": False},
     }
+    return payload
 
 
 def main(argv=None) -> int:
@@ -40,19 +60,34 @@ def main(argv=None) -> int:
     parser.add_argument("--format", choices=("human", "json"), default="human")
     parser.add_argument("--out", metavar="FILE",
                         help="also write the JSON findings artifact to FILE")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the result cache")
+    parser.add_argument("--cache-file", metavar="FILE", default=DEFAULT_CACHE_FILE,
+                        help=f"result cache location (default: {DEFAULT_CACHE_FILE})")
+    parser.add_argument("--lock-graph", metavar="FILE",
+                        help="write the static lock-acquisition-order graph "
+                             "(JSON: edges, cycles, roles) to FILE")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for cls in ALL_RULES:
-            print(f"{cls.rule_id}  {cls.description}")
-        print("SUP001  suppression without a justification")
-        print("SUP002  suppression whose rule never fires")
+        for rule_id, description in _rule_catalogue().items():
+            print(f"{rule_id}  {description}")
         return 0
 
-    findings = lint_paths(args.paths)
-    payload = _findings_json(list(args.paths), findings)
+    cache = None if args.no_cache else AnalysisCache(args.cache_file)
+    result = run_lint_paths(
+        args.paths, cache=cache, want_lock_graph=bool(args.lock_graph)
+    )
+    findings = result.findings
+
+    if args.lock_graph:
+        with open(args.lock_graph, "w") as fh:
+            json.dump(result.lock_graph, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    payload = _findings_json(list(args.paths), result)
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)

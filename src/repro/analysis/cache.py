@@ -1,0 +1,158 @@
+"""Per-file result cache for the analysis CLI.
+
+Rule execution dominates a lint run (five visitor passes per module plus
+the interprocedural fixpoints), so results are cached in a small JSON
+file keyed two ways:
+
+* **per file** — ``path → {mtime_ns, size, sha256, findings}`` holding
+  the *raw* module-rule findings (pre-suppression, anchors included).
+  ``mtime_ns + size`` is the fast path: when both match, the stored hash
+  is trusted without re-hashing; when they differ the content hash
+  decides, so ``touch`` alone never invalidates and an edit that keeps
+  the mtime never poisons.
+* **project-wide** — the interprocedural findings under a single key,
+  the hash of every (path, file-hash) pair: any file change recomputes
+  the whole interprocedural layer (its results can depend on any module,
+  so finer-grained reuse would be unsound).
+
+Both keys incorporate :data:`ENGINE_VERSION`, a content hash of the
+analysis package itself — editing any rule invalidates everything, no
+manual version bump to forget.  Suppressions are *not* cached: they are
+re-applied from source on every run (tokenising is cheap, and SUP001/
+SUP002 depend on which rules fire, including project rules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .findings import Finding
+
+__all__ = ["AnalysisCache", "engine_version", "DEFAULT_CACHE_FILE"]
+
+DEFAULT_CACHE_FILE = ".ftlint-cache.json"
+
+_engine_version: Optional[str] = None
+
+
+def engine_version() -> str:
+    """Content hash of the analysis package — the cache's global salt."""
+    global _engine_version
+    if _engine_version is None:
+        h = hashlib.sha256()
+        pkg = Path(__file__).resolve().parent
+        for f in sorted(pkg.glob("*.py")):
+            h.update(f.name.encode())
+            h.update(f.read_bytes())
+        _engine_version = h.hexdigest()[:16]
+    return _engine_version
+
+
+def _finding_to_cache(f: Finding) -> dict:
+    d = f.to_dict()
+    if f.anchor_lines:
+        d["anchor_lines"] = list(f.anchor_lines)
+    return d
+
+
+def _finding_from_cache(d: dict) -> Finding:
+    return Finding(
+        rule=d["rule"],
+        path=d["path"],
+        line=d["line"],
+        col=d.get("col", 0),
+        message=d["message"],
+        anchor_lines=tuple(d.get("anchor_lines", ())),
+    )
+
+
+class AnalysisCache:
+    """Load-mutate-save wrapper around the cache file, with hit stats."""
+
+    def __init__(self, path: str | Path = DEFAULT_CACHE_FILE):
+        self.path = Path(path)
+        self.stats: Dict[str, object] = {
+            "enabled": True,
+            "files": 0,
+            "module_hits": 0,
+            "module_misses": 0,
+            "project_hit": False,
+        }
+        self._data = self._load()
+
+    def _load(self) -> dict:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            data = {}
+        if data.get("version") != engine_version():
+            data = {"version": engine_version(), "files": {}, "project": {}}
+        data.setdefault("files", {})
+        data.setdefault("project", {})
+        return data
+
+    # -- per-file layer -----------------------------------------------------------
+    def file_hash(self, path: str, source: str, stat) -> str:
+        """Content hash, trusting mtime+size when they match the entry."""
+        entry = self._data["files"].get(path)
+        if (
+            entry is not None
+            and entry.get("mtime_ns") == stat.st_mtime_ns
+            and entry.get("size") == stat.st_size
+        ):
+            return entry["sha256"]
+        return hashlib.sha256(source.encode("utf-8", "surrogatepass")).hexdigest()
+
+    def get_module_findings(self, path: str, sha256: str) -> Optional[List[Finding]]:
+        self.stats["files"] = int(self.stats["files"]) + 1
+        entry = self._data["files"].get(path)
+        if entry is not None and entry.get("sha256") == sha256:
+            self.stats["module_hits"] = int(self.stats["module_hits"]) + 1
+            return [_finding_from_cache(d) for d in entry.get("findings", ())]
+        self.stats["module_misses"] = int(self.stats["module_misses"]) + 1
+        return None
+
+    def put_module_findings(
+        self, path: str, sha256: str, stat, findings: List[Finding]
+    ) -> None:
+        self._data["files"][path] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "sha256": sha256,
+            "findings": [_finding_to_cache(f) for f in findings],
+        }
+
+    # -- project layer ------------------------------------------------------------
+    def project_key(self, file_hashes: Dict[str, str]) -> str:
+        h = hashlib.sha256(engine_version().encode())
+        for path in sorted(file_hashes):
+            h.update(path.encode())
+            h.update(file_hashes[path].encode())
+        return h.hexdigest()
+
+    def get_project_findings(self, key: str) -> Optional[List[Finding]]:
+        proj = self._data["project"]
+        if proj.get("key") == key:
+            self.stats["project_hit"] = True
+            return [_finding_from_cache(d) for d in proj.get("findings", ())]
+        return None
+
+    def put_project_findings(self, key: str, findings: List[Finding]) -> None:
+        self._data["project"] = {
+            "key": key,
+            "findings": [_finding_to_cache(f) for f in findings],
+        }
+
+    def save(self) -> None:
+        # prune entries for files that vanished so the cache cannot grow
+        # without bound across renames
+        try:
+            self._data["files"] = {
+                p: e for p, e in self._data["files"].items() if Path(p).exists()
+            }
+            self.path.write_text(json.dumps(self._data, separators=(",", ":")))
+        except OSError:
+            pass  # caching is an optimisation, never a failure

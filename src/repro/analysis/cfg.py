@@ -1,0 +1,247 @@
+"""Per-function control-flow graph with exception edges.
+
+Nodes are individual statements plus three synthetic nodes: ENTRY, the
+normal EXIT, and RAISE (the exceptional exit).  For compound statements
+the node represents only the part that executes at that point — an
+``if`` node is its test, a ``for`` node the iterator advance, a ``with``
+node the context-manager entry — recorded as the node's *role* so
+dataflow transfer functions never accidentally interpret a nested block.
+
+Edges model:
+
+* straight-line fallthrough, ``if``/``while``/``for`` branching,
+  ``break``/``continue``/``return``;
+* **exception edges**: any statement that can raise gets an edge to the
+  innermost enclosing handler target — the ``except`` dispatch of its
+  ``try``, else its ``finally``, else RAISE.  Almost every statement can
+  raise (attribute access, arithmetic, any call), so only trivially-safe
+  statements (``pass``, ``break``, ``continue``, bare name/constant
+  expressions) are exempt;
+* ``finally`` **duality**: the finally body is built once and exits both
+  to the normal continuation and (exceptionally) onward to the outer
+  handler target.  This over-approximates — a finally entered
+  exceptionally also appears to fall through normally — but is sound
+  for may-analyses like RES001: a resource closed in a finally is closed
+  on both exits.
+
+Python semantics honoured: the ``else`` suite runs only after a clean
+body, and its exceptions are *not* caught by this ``try``'s handlers;
+an exception matching no handler propagates out through the finally.
+Known simplification: ``break``/``continue``/``return`` jumping out of a
+``try`` bypass the finally body in this graph.  Nested function
+definitions are opaque single nodes — their bodies run at call time.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "ENTRY", "EXIT", "RAISE"]
+
+ENTRY = 0
+EXIT = 1
+RAISE = 2
+
+
+@dataclass
+class CFGNode:
+    """One CFG node: the statement it belongs to and which part of it."""
+
+    stmt: Optional[ast.stmt]
+    #: "stmt" whole simple statement | "test" if/while condition |
+    #: "iter" for-loop iterator+target | "with" context entry |
+    #: "dispatch" except dispatch | "join" synthetic merge point
+    role: str = "stmt"
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class CFG:
+    """Statement-level flow graph for one function body."""
+
+    func: ast.AST
+    nodes: dict[int, CFGNode] = field(default_factory=dict)
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    #: subset of edges that model an in-flight exception
+    exc_succ: dict[int, set[int]] = field(default_factory=dict)
+
+    def add_edge(self, a: int, b: int, exceptional: bool = False) -> None:
+        self.succ.setdefault(a, set()).add(b)
+        if exceptional:
+            self.exc_succ.setdefault(a, set()).add(b)
+
+    def node_ids(self) -> list[int]:
+        return [ENTRY, EXIT, RAISE, *self.nodes.keys()]
+
+    def successors(self, nid: int) -> set[int]:
+        return self.succ.get(nid, set())
+
+
+#: statements that can never raise on their own
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, _NO_RAISE):
+        return False
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, (ast.Constant, ast.Name)):
+        return False
+    return True
+
+
+class _Builder:
+    def __init__(self, func: ast.AST):
+        self.cfg = CFG(func=func)
+        self._next_id = 3
+        self._breaks: list[int] = []  # break nodes of the innermost open loop
+
+    def build(self) -> CFG:
+        body = self.cfg.func.body  # type: ignore[attr-defined]
+        out = self._seq(body, {ENTRY}, RAISE, in_loop=False)
+        for n in out:
+            self.cfg.add_edge(n, EXIT)
+        return self.cfg
+
+    def _new(self, stmt: Optional[ast.stmt], role: str = "stmt") -> int:
+        nid = self._next_id
+        self._next_id += 1
+        self.cfg.nodes[nid] = CFGNode(stmt=stmt, role=role)
+        return nid
+
+    def _link(self, preds: set[int], node: int) -> None:
+        for p in preds:
+            self.cfg.add_edge(p, node)
+
+    # Each helper returns the "live out" set that falls through to whatever
+    # comes next; edges to EXIT/RAISE/loop heads are added inline.
+    def _seq(self, stmts, preds: set[int], exc: int, in_loop,
+             loop_head: Optional[int] = None) -> set[int]:
+        current = set(preds)
+        for stmt in stmts:
+            if not current:
+                break  # unreachable after return/raise/break
+            current = self._stmt(stmt, current, exc, in_loop, loop_head)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, preds: set[int], exc: int, in_loop,
+              loop_head: Optional[int]) -> set[int]:
+        cfg = self.cfg
+
+        if isinstance(stmt, ast.If):
+            node = self._new(stmt, "test")
+            self._link(preds, node)
+            cfg.add_edge(node, exc, exceptional=True)
+            body_out = self._seq(stmt.body, {node}, exc, in_loop, loop_head)
+            else_out = (
+                self._seq(stmt.orelse, {node}, exc, in_loop, loop_head)
+                if stmt.orelse
+                else {node}
+            )
+            return body_out | else_out
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            role = "test" if isinstance(stmt, ast.While) else "iter"
+            head = self._new(stmt, role)
+            self._link(preds, head)
+            cfg.add_edge(head, exc, exceptional=True)
+            saved, self._breaks = self._breaks, []
+            body_out = self._seq(stmt.body, {head}, exc, in_loop=True, loop_head=head)
+            for n in body_out:
+                cfg.add_edge(n, head)
+            breaks, self._breaks = set(self._breaks), saved
+            if stmt.orelse:
+                else_out = self._seq(stmt.orelse, {head}, exc, in_loop, loop_head)
+                return else_out | breaks
+            return {head} | breaks
+
+        if isinstance(stmt, ast.Break):
+            node = self._new(stmt)
+            self._link(preds, node)
+            self._breaks.append(node)
+            return set()
+
+        if isinstance(stmt, ast.Continue):
+            node = self._new(stmt)
+            self._link(preds, node)
+            if loop_head is not None:
+                cfg.add_edge(node, loop_head)
+            return set()
+
+        if isinstance(stmt, ast.Return):
+            node = self._new(stmt)
+            self._link(preds, node)
+            if stmt.value is not None:
+                cfg.add_edge(node, exc, exceptional=True)
+            cfg.add_edge(node, EXIT)
+            return set()
+
+        if isinstance(stmt, ast.Raise):
+            node = self._new(stmt)
+            self._link(preds, node)
+            cfg.add_edge(node, exc, exceptional=True)
+            return set()
+
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds, exc, in_loop, loop_head)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._new(stmt, "with")
+            self._link(preds, node)
+            cfg.add_edge(node, exc, exceptional=True)
+            return self._seq(stmt.body, {node}, exc, in_loop, loop_head)
+
+        # Simple statement (assignment, expression, import, nested def, ...).
+        node = self._new(stmt)
+        self._link(preds, node)
+        if _can_raise(stmt):
+            cfg.add_edge(node, exc, exceptional=True)
+        return {node}
+
+    def _try(self, stmt: ast.Try, preds: set[int], exc: int, in_loop,
+             loop_head: Optional[int]) -> set[int]:
+        cfg = self.cfg
+        has_fin = bool(stmt.finalbody)
+        has_handlers = bool(stmt.handlers)
+
+        #: exceptional entry into the finally body (exists iff has_fin)
+        fin_gate = self._new(stmt, "join") if has_fin else None
+        #: where the protected body's exceptions land first
+        if has_handlers:
+            dispatch = self._new(stmt, "dispatch")
+            body_exc = dispatch
+        else:
+            body_exc = fin_gate if fin_gate is not None else exc
+            dispatch = None
+        #: where exceptions *escaping* this try go (handler bodies, else
+        #: suite, unmatched dispatch)
+        escape = fin_gate if fin_gate is not None else exc
+
+        body_out = self._seq(stmt.body, preds, body_exc, in_loop, loop_head)
+        if stmt.orelse:  # runs only on a clean body; not caught by handlers
+            body_out = self._seq(stmt.orelse, body_out, escape, in_loop, loop_head)
+
+        handler_out: set[int] = set()
+        if dispatch is not None:
+            for h in stmt.handlers:
+                handler_out |= self._seq(h.body, {dispatch}, escape, in_loop, loop_head)
+            if not any(h.type is None for h in stmt.handlers):
+                cfg.add_edge(dispatch, escape, exceptional=True)
+
+        if not has_fin:
+            return body_out | handler_out
+
+        fin_preds = body_out | handler_out | {fin_gate}
+        fin_out = self._seq(stmt.finalbody, fin_preds, exc, in_loop, loop_head)
+        for n in fin_out:  # exceptional continuation out of the finally
+            cfg.add_edge(n, exc, exceptional=True)
+        return fin_out
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG for one ``FunctionDef`` / ``AsyncFunctionDef`` body."""
+    return _Builder(func).build()

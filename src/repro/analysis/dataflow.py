@@ -1,0 +1,133 @@
+"""Worklist fixpoint solvers shared by the interprocedural rules.
+
+Two shapes of fixpoint, both monotone over finite lattices so
+termination is by construction:
+
+* :func:`solve_forward` — classic forward dataflow over a
+  :class:`~repro.analysis.cfg.CFG`: states flow along edges, joined at
+  merge points, until nothing changes.  RES001 runs its resource-state
+  lattice (UNACQUIRED < OPEN/CLOSED < MAYBE_OPEN) through this.
+* :func:`solve_summaries` — a bottom-up summary fixpoint over the call
+  graph: each function's summary is its direct facts joined with its
+  callees' summaries lifted across the call site.  Recursion is handled
+  by iterating to fixpoint rather than by topological order.  RT003's
+  blocking summaries and the static lock-order graph's lock-set
+  summaries both run through this with chain-preserving lattices
+  (a fact carries the shortest call chain that witnesses it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Tuple, TypeVar
+
+from .cfg import CFG, ENTRY
+
+__all__ = ["solve_forward", "solve_summaries", "ChainFact", "join_chain_facts"]
+
+S = TypeVar("S")  # a dataflow state
+F = TypeVar("F", bound=Hashable)  # a function identifier
+
+
+def solve_forward(
+    cfg: CFG,
+    init: S,
+    bottom: S,
+    transfer: Callable[[int, S], S],
+    join: Callable[[S, S], S],
+    exc_transfer: Optional[Callable[[int, S], S]] = None,
+) -> Dict[int, S]:
+    """Forward dataflow: returns the state *entering* each node.
+
+    ``transfer(node_id, state)`` maps an in-state to the out-state of one
+    node; ``join`` merges states at control-flow merges; ``init`` enters
+    at ENTRY and ``bottom`` is the identity of ``join``.  States must be
+    immutable values with ``==``.
+
+    When ``exc_transfer`` is given, exceptional successors (edges in
+    ``cfg.exc_succ``) receive ``exc_transfer(node, state)`` instead —
+    e.g. RES001 treats an acquiring assignment that *raises* as not
+    having acquired (the binding never happened).
+    """
+    in_state: Dict[int, S] = {n: bottom for n in cfg.node_ids()}
+    in_state[ENTRY] = init
+    # Seed with every node, not just ENTRY: when init == bottom the first
+    # propagation changes nothing, yet nodes still need their transfer run
+    # so downstream states (e.g. "acquired") appear at all.
+    work = list(cfg.node_ids())
+    while work:
+        node = work.pop()
+        out = transfer(node, in_state[node])
+        exc_out = exc_transfer(node, in_state[node]) if exc_transfer else out
+        exc_edges = cfg.exc_succ.get(node, set())
+        for nxt in cfg.successors(node):
+            flowed = exc_out if nxt in exc_edges else out
+            merged = join(in_state[nxt], flowed)
+            if merged != in_state[nxt]:
+                in_state[nxt] = merged
+                work.append(nxt)
+    return in_state
+
+
+#: One interprocedural fact with its witness chain: a tuple of
+#: ``(display_name, path, line)`` steps, outermost call first, ending at
+#: the primitive that grounds the fact.
+ChainFact = Tuple[Tuple[str, str, int], ...]
+
+
+def join_chain_facts(
+    acc: Dict[str, ChainFact], new: Dict[str, ChainFact]
+) -> Tuple[Dict[str, ChainFact], bool]:
+    """Union fact keys, keeping the shortest witness chain per key.
+
+    Returns the merged dict and whether anything changed.  Preferring the
+    shortest chain makes the fixpoint monotone (chains only ever shrink)
+    and the reported chains readable.
+    """
+    changed = False
+    out = dict(acc)
+    for key, chain in new.items():
+        old = out.get(key)
+        if old is None or len(chain) < len(old):
+            out[key] = chain
+            changed = old is None or chain != old
+    return out, changed
+
+
+def solve_summaries(
+    functions: Iterable[F],
+    callers_of: Callable[[F], Iterable[Tuple[F, Tuple[str, str, int]]]],
+    direct: Callable[[F], Dict[str, ChainFact]],
+    max_chain: int = 12,
+) -> Dict[F, Dict[str, ChainFact]]:
+    """Bottom-up chain-fact summaries over the call graph.
+
+    ``direct(f)`` yields the facts ``f`` establishes itself (chain of
+    length 1).  ``callers_of(g)`` yields ``(f, step)`` pairs: ``f`` calls
+    ``g`` and ``step = (display, path, line)`` describes that call site.
+    Whenever ``g``'s summary grows, every caller re-joins ``g``'s facts
+    prefixed with the call-site step; chains are capped at ``max_chain``
+    steps to bound pathological recursion output (the fact itself still
+    propagates — only the printed chain is truncated).
+    """
+    funcs = list(functions)
+    summary: Dict[F, Dict[str, ChainFact]] = {f: dict(direct(f)) for f in funcs}
+    work = [f for f in funcs if summary[f]]
+    in_work = set(work)
+    while work:
+        g = work.pop()
+        in_work.discard(g)
+        g_facts = summary[g]
+        for f, step in callers_of(g):
+            if f not in summary:
+                continue
+            lifted = {
+                key: ((step, *chain) if len(chain) < max_chain else (step, *chain[: max_chain - 1]))
+                for key, chain in g_facts.items()
+            }
+            merged, changed = join_chain_facts(summary[f], lifted)
+            if changed:
+                summary[f] = merged
+                if f not in in_work:
+                    work.append(f)
+                    in_work.add(f)
+    return summary

@@ -1,0 +1,340 @@
+"""Static lock-acquisition-order graph + LOCK001, the runtime witness's twin.
+
+:mod:`repro.analysis.lockwitness` records, per run, an edge ``A → B``
+whenever a thread acquires lock-role ``B`` while holding role ``A`` —
+but only for schedules that actually executed.  This module derives the
+same graph *statically*: lock roles come from ``named_lock("role")`` /
+``named_condition("role")`` creation sites (including the
+``field(default_factory=partial(named_lock, "role"))`` dataclass form),
+``with <lock>:`` statements are resolved to roles through the class
+attribute table (MRO-aware), locals, and module globals, and nested
+acquisitions — directly nested ``with`` blocks *and* calls whose callee
+transitively acquires a lock, via the call-graph summary fixpoint —
+become edges annotated with the witnessing call chain.
+
+* A cycle in the static graph alone is a **LOCK001** finding.
+* :func:`compare_with_runtime` merges the static graph with a witness
+  :func:`~repro.analysis.lockwitness.report`: an edge only one side can
+  see is reported informatively (closures and dynamic dispatch hide
+  edges from the static side; unexecuted schedules hide them from the
+  runtime side), and a cycle that only the *union* exhibits is the
+  silent-gap case the cross-check exists for — each side's graph is
+  acyclic, the real system is not.
+
+Locks acquired inside nested ``def``/``lambda`` bodies are attributed to
+nobody (the closure runs on another thread); a ``with`` over a lock-ish
+name that resolves to no known role becomes a ``?name`` node — part of
+the static graph, excluded from the runtime comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph, FunctionInfo, iter_scope
+from .dataflow import ChainFact, solve_summaries
+from .findings import Finding
+from .interproc import _walk_with_locks, format_chain
+from .rules import LOCK_NAME_RE
+from .visitor import ProjectRule, dotted_name
+
+_FACTORIES = {"named_lock", "named_condition"}
+
+
+def _terminal(name: Optional[str]) -> str:
+    return name.rsplit(".", 1)[-1] if name else ""
+
+
+def find_role(expr: ast.AST) -> Optional[str]:
+    """The witness role a value expression creates, if any.
+
+    Covers ``[lockwitness.]named_lock("r")``, ``named_condition("r")``,
+    and the deferred ``partial(named_lock, "r")`` form (wherever it
+    appears in the expression, e.g. under ``field(default_factory=...)``).
+    """
+    for node in ast.walk(expr):
+        if not isinstance(node, ast.Call):
+            continue
+        term = _terminal(dotted_name(node.func))
+        if term in _FACTORIES and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+        if term == "partial" and len(node.args) >= 2:
+            if _terminal(dotted_name(node.args[0])) in _FACTORIES:
+                role_arg = node.args[1]
+                if isinstance(role_arg, ast.Constant) and isinstance(role_arg.value, str):
+                    return role_arg.value
+    return None
+
+
+class _RoleTable:
+    """Where each named lock lives: class attributes, locals, globals."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        #: ("module:Class", attr) → role
+        self.class_attrs: Dict[Tuple[str, str], str] = {}
+        #: (function qualname, local name) → role
+        self.locals: Dict[Tuple[str, str], str] = {}
+        #: (module, global name) → role
+        self.globals: Dict[Tuple[str, str], str] = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        for idx in self.graph.modules.values():
+            for node in idx.ctx.tree.body:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    tgt = node.targets[0]
+                    role = find_role(node.value)
+                    if isinstance(tgt, ast.Name) and role:
+                        self.globals[(idx.name, tgt.id)] = role
+        for cinfo in self.graph.classes.values():
+            for item in cinfo.node.body:
+                if isinstance(item, (ast.Assign, ast.AnnAssign)):
+                    value = item.value
+                    tgt = item.targets[0] if isinstance(item, ast.Assign) else item.target
+                    if value is not None and isinstance(tgt, ast.Name):
+                        role = find_role(value)
+                        if role:
+                            self.class_attrs[(cinfo.qualname, tgt.id)] = role
+        for fi in self.graph.functions.values():
+            for node in iter_scope(fi.node):
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                tgt = node.targets[0]
+                role = find_role(node.value)
+                if role is None:
+                    continue
+                if isinstance(tgt, ast.Name):
+                    self.locals[(fi.qualname, tgt.id)] = role
+                elif (
+                    isinstance(tgt, ast.Attribute)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id == "self"
+                    and fi.cls
+                ):
+                    self.class_attrs[(fi.cls, tgt.attr)] = role
+
+    def role_for(self, lock_name: str, fi: FunctionInfo) -> str:
+        """Role of a ``with <lock_name>:`` inside ``fi``; ``?name`` when
+        the creation site is not statically known."""
+        parts = lock_name.split(".")
+        if parts[0] == "self" and len(parts) == 2 and fi.cls:
+            cinfo = self.graph.classes.get(fi.cls)
+            if cinfo is not None:
+                for c in self.graph.mro(cinfo):
+                    role = self.class_attrs.get((c.qualname, parts[1]))
+                    if role:
+                        return role
+        if len(parts) == 1:
+            role = self.locals.get((fi.qualname, lock_name))
+            if role:
+                return role
+            role = self.globals.get((fi.module, lock_name))
+            if role:
+                return role
+        return f"?{_terminal(lock_name)}"
+
+
+def _acquired_summaries(
+    graph: CallGraph, roles: _RoleTable
+) -> Dict[str, Dict[str, ChainFact]]:
+    """Per-function: every role it (transitively) acquires, with chain."""
+    def direct(qn: str) -> Dict[str, ChainFact]:
+        fi = graph.functions[qn]
+        out: Dict[str, ChainFact] = {}
+        for node, _held in _walk_with_locks(fi.node):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                name = dotted_name(item.context_expr)
+                if not name:
+                    continue
+                if not LOCK_NAME_RE.search(_terminal(name)):
+                    continue
+                role = roles.role_for(name, fi)
+                out.setdefault(role, ((f"with {name}", fi.path, node.lineno),))
+        return out
+
+    callers: Dict[str, List[Tuple[str, Tuple[str, str, int]]]] = {}
+    for caller, sites in graph.calls.items():
+        cpath = graph.functions[caller].path
+        for site in sites:
+            for callee in site.callees:
+                cfi = graph.functions.get(callee)
+                display = cfi.display if cfi else callee
+                callers.setdefault(callee, []).append(
+                    (caller, (display, cpath, site.line))
+                )
+    cache = {qn: direct(qn) for qn in graph.functions}
+    return solve_summaries(
+        graph.functions.keys(), lambda g: callers.get(g, ()), lambda f: cache[f]
+    )
+
+
+def build_static_lock_graph(graph: CallGraph) -> dict:
+    """``{"edges": [...], "cycles": [...], "roles": [...]}`` mirroring the
+    shape of :func:`repro.analysis.lockwitness.report`."""
+    roles = _RoleTable(graph)
+    summaries = _acquired_summaries(graph, roles)
+    #: (from_role, to_role) → {"site", "via"} (first witness kept)
+    edges: Dict[Tuple[str, str], dict] = {}
+
+    def add_edge(a: str, b: str, site: str, via: str) -> None:
+        if a != b:
+            edges.setdefault((a, b), {"site": site, "via": via})
+
+    for qn, fi in graph.functions.items():
+        site_map = {id(cs.node): cs for cs in graph.callees_of(qn)}
+        for node, held in _walk_with_locks(fi.node):
+            if not held or not isinstance(node, (ast.With, ast.AsyncWith, ast.Call)):
+                continue
+            held_roles = [roles.role_for(name, fi) for name, _ in held]
+            site = f"{fi.path}:{node.lineno}"
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    name = dotted_name(item.context_expr)
+                    if not name:
+                        continue
+                    if not LOCK_NAME_RE.search(_terminal(name)):
+                        continue
+                    inner = roles.role_for(name, fi)
+                    for h in held_roles:
+                        add_edge(h, inner, site, f"with {name}")
+            elif isinstance(node, ast.Call):
+                cs = site_map.get(id(node))
+                if cs is None:
+                    continue
+                for callee in cs.callees:
+                    for role, chain in summaries.get(callee, {}).items():
+                        for h in held_roles:
+                            add_edge(h, role, site, format_chain(chain))
+
+    all_roles: Set[str] = set()
+    for a, b in edges:
+        all_roles.update((a, b))
+    return {
+        "edges": [
+            {"from": a, "to": b, **info} for (a, b), info in sorted(edges.items())
+        ],
+        "cycles": find_sccs({k: {b for (a, b) in edges if a == k} for k in all_roles}),
+        "roles": sorted(all_roles),
+    }
+
+
+def find_sccs(adj: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly-connected components with >1 node (iterative Tarjan),
+    sorted — the same cycle shape :mod:`lockwitness` reports."""
+    for targets in list(adj.values()):
+        for t in targets:
+            adj.setdefault(t, set())
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+    for root in sorted(adj):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(adj[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(adj[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1:
+                    cycles.append(sorted(scc))
+    return cycles
+
+
+def compare_with_runtime(static: dict, runtime: dict) -> dict:
+    """Cross-check the static graph against a lockwitness report.
+
+    Unnamed (``?``-prefixed) static roles are excluded — the runtime
+    witness cannot see them.  Returns edge diffs plus ``combined_cycles``:
+    cycles present in the union graph but in neither side alone — the
+    case where each view is individually acyclic and the system is not.
+    """
+    static_edges = {
+        (e["from"], e["to"])
+        for e in static["edges"]
+        if not e["from"].startswith("?") and not e["to"].startswith("?")
+    }
+    runtime_edges = {(e["from"], e["to"]) for e in runtime.get("edges", ())}
+    union: Dict[str, Set[str]] = {}
+    for a, b in static_edges | runtime_edges:
+        union.setdefault(a, set()).add(b)
+    union_cycles = find_sccs(union)
+    static_cycles = [c for c in static.get("cycles", ()) if not any(r.startswith("?") for r in c)]
+    runtime_cycles = [list(c) for c in runtime.get("cycles", ())]
+    known = [sorted(c) for c in (*static_cycles, *runtime_cycles)]
+    return {
+        "static_only_edges": sorted(static_edges - runtime_edges),
+        "runtime_only_edges": sorted(runtime_edges - static_edges),
+        "static_cycles": static_cycles,
+        "runtime_cycles": runtime_cycles,
+        "combined_cycles": [c for c in union_cycles if sorted(c) not in known],
+    }
+
+
+class LockOrderRule(ProjectRule):
+    rules = (
+        ("LOCK001", "cycle in the static lock-acquisition-order graph"),
+    )
+
+    def check_project(self, graph: CallGraph) -> Iterable[Finding]:
+        static = build_static_lock_graph(graph)
+        for cycle in static["cycles"]:
+            involved = [
+                e
+                for e in static["edges"]
+                if e["from"] in cycle and e["to"] in cycle
+            ]
+            detail = "; ".join(
+                f"{e['from']} -> {e['to']} (at {e['site']} via {e['via']})"
+                for e in involved
+            )
+            first = involved[0] if involved else None
+            path, _, line = (
+                first["site"].rpartition(":") if first else ("<unknown>", ":", "0")
+            )
+            yield Finding(
+                rule="LOCK001",
+                path=path,
+                line=int(line) if line.isdigit() else 0,
+                message=(
+                    f"static lock-order cycle {' <-> '.join(cycle)}: {detail} — "
+                    f"a schedule interleaving these acquisitions deadlocks even "
+                    f"if no test has hit it yet"
+                ),
+            )

@@ -41,9 +41,12 @@ __all__ = [
     "DeterminismRule",
     "SwallowedThreadExceptionRule",
     "ALL_RULES",
+    "blocking_reason",
+    "LOCK_NAME_RE",
 ]
 
-_LOCK_NAME_RE = re.compile(r"(lock|cond|mutex)$", re.IGNORECASE)
+LOCK_NAME_RE = re.compile(r"(lock|cond|mutex)$", re.IGNORECASE)
+_LOCK_NAME_RE = LOCK_NAME_RE
 _THREADISH_RE = re.compile(r"(^t\d*$|^th$|thread|worker|proc|monkey)", re.IGNORECASE)
 _QUEUEISH_RE = re.compile(r"(^q\d*$|queue|_q$|jobs|work$)", re.IGNORECASE)
 
@@ -63,6 +66,39 @@ _BROAD_EXC = {"Exception", "BaseException"}
 
 def _terminal(name: Optional[str]) -> str:
     return name.rsplit(".", 1)[-1] if name else ""
+
+
+def blocking_reason(node: ast.Call, held_locks: tuple = ()) -> Optional[str]:
+    """Why this call blocks, or None.  Shared by RT001 (direct) and the
+    RT003 summary builder; ``held_locks`` are the dotted names of locks
+    held at the call, used only for the cond.wait-on-held exemption."""
+    func = node.func
+    name = dotted_name(func)
+    if isinstance(func, ast.Name) and func.id in _BLOCKING_NAME_CALLS:
+        return f"blocking call '{func.id}()'"
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    recv = dotted_name(func.value)
+    recv_term = _terminal(recv)
+    if name == "time.sleep" or attr == "sleep":
+        return "'time.sleep()'"
+    if attr == "wait":
+        # cond.wait() on the held condition releases it — the idiom, not a bug
+        if recv in held_locks:
+            return None
+        return f"'{recv or '?'}.wait()'"
+    if attr in _SOCKET_ATTRS:
+        return f"socket I/O '{recv or '?'}.{attr}()'"
+    if attr in _FILE_IO_ATTRS:
+        return f"file I/O '{recv or '?'}.{attr}()'"
+    if attr == "join" and _THREADISH_RE.search(recv_term):
+        return f"thread join '{recv}.join()'"
+    if attr in ("get", "put") and _QUEUEISH_RE.search(recv_term):
+        if _has_false_block_kwarg(node):
+            return None
+        return f"blocking queue op '{recv}.{attr}()'"
+    return None
 
 
 def _has_false_block_kwarg(node: ast.Call) -> bool:
@@ -112,7 +148,8 @@ class LockHeldWhileBlockingRule(RuleVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         if self._lock_stack:
-            reason = self._blocking_reason(node)
+            held = tuple(name for name, _ in self._lock_stack)
+            reason = blocking_reason(node, held)
             if reason:
                 lock_name, lock_line = self._lock_stack[-1]
                 self.report(
@@ -123,35 +160,6 @@ class LockHeldWhileBlockingRule(RuleVisitor):
                     anchors=(lock_line,),
                 )
         self.generic_visit(node)
-
-    def _blocking_reason(self, node: ast.Call) -> Optional[str]:
-        func = node.func
-        name = dotted_name(func)
-        if isinstance(func, ast.Name) and func.id in _BLOCKING_NAME_CALLS:
-            return f"blocking call '{func.id}()'"
-        if not isinstance(func, ast.Attribute):
-            return None
-        attr = func.attr
-        recv = dotted_name(func.value)
-        recv_term = _terminal(recv)
-        if name == "time.sleep" or attr == "sleep":
-            return "'time.sleep()'"
-        if attr == "wait":
-            # cond.wait() on the held condition releases it — the idiom, not a bug
-            if any(recv == held for held, _ in self._lock_stack):
-                return None
-            return f"'{recv or '?'}.wait()'"
-        if attr in _SOCKET_ATTRS:
-            return f"socket I/O '{recv or '?'}.{attr}()'"
-        if attr in _FILE_IO_ATTRS:
-            return f"file I/O '{recv or '?'}.{attr}()'"
-        if attr == "join" and _THREADISH_RE.search(recv_term):
-            return f"thread join '{recv}.join()'"
-        if attr in ("get", "put") and _QUEUEISH_RE.search(recv_term):
-            if _has_false_block_kwarg(node):
-                return None
-            return f"blocking queue op '{recv}.{attr}()'"
-        return None
 
 
 class UntrackedThreadRule(RuleVisitor):

@@ -41,7 +41,7 @@ from ..analysis import lockwitness
 from ..core.failure_detector import TimeoutFailureDetector
 from ..core.fault_policy import FaultPolicy
 from ..core.replication import ReplicatedRecache
-from .protocol import OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
+from .protocol import OP_PING, OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
 from .storage import PFSDir
 
 __all__ = ["FTCacheClient", "ReadError", "CLIENT_COUNTER_KEYS"]
@@ -117,6 +117,11 @@ class FTCacheClient:
         self.max_reroute_rounds = max_reroute_rounds
         self.on_op = on_op
         self._pool = _ConnectionPool()
+        #: every live pooled socket, across *all* threads — the pool is
+        #: thread-local, so close() could otherwise never reach sockets
+        #: owned by worker threads that have already exited
+        self._live_socks: set = set()
+        self._socks_lock = lockwitness.named_lock("client-socks")
         self._policy_lock = lockwitness.named_lock("client-policy")
         #: node → connection epoch; bumped on admit_node and on failure
         #: declaration so every thread's pool drops stale sockets lazily
@@ -285,6 +290,28 @@ class FTCacheClient:
             return None
         return dict(resp.header)
 
+    def ping(self, node: NodeId) -> bool:
+        """Liveness probe: one PING round-trip against ``node``.
+
+        Outcomes feed the failure detector exactly like a data request —
+        a timeout counts toward the declaration threshold, an answer
+        clears the node's strike history.  True only when the node
+        answered with its *own* identity: a listener that replies as a
+        different node (port reused by another instance after a crash)
+        is not alive for our purposes.
+        """
+        resp = self._rpc(node, Message.request(OP_PING))
+        if resp is None:
+            self._bump(timeouts=1)
+            if self.detector.record_timeout(node):
+                self._bump(declared=1)
+                self._declare_failed(node)
+            return False
+        if not resp.ok:
+            return False
+        self.detector.record_success(node)
+        return resp.header.get("node_id") == node
+
     # -- internals -----------------------------------------------------------------
     def _notify(self, op: str, path: str, seconds: float, outcome: str) -> None:
         if self.on_op is not None:
@@ -330,22 +357,26 @@ class FTCacheClient:
             if pooled.epoch == epoch and pooled.addr == addr:
                 return pooled.sock, False
             self._pool.conns.pop(node, None)
-            try:
-                pooled.sock.close()
-            except OSError:  # pragma: no cover
-                pass
+            self._discard_sock(pooled.sock)
         sock = socket.create_connection(addr, timeout=self.detector.ttl)
         sock.settimeout(self.detector.ttl)
+        with self._socks_lock:
+            self._live_socks.add(sock)
         self._pool.conns[node] = _PooledConn(sock, epoch, addr)
         return sock, True
+
+    def _discard_sock(self, sock: socket.socket) -> None:
+        with self._socks_lock:
+            self._live_socks.discard(sock)
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
 
     def _drop_conn(self, node: NodeId) -> None:
         pooled = self._pool.conns.pop(node, None)
         if pooled is not None:
-            try:
-                pooled.sock.close()
-            except OSError:  # pragma: no cover
-                pass
+            self._discard_sock(pooled.sock)
 
     def _rpc(self, node: NodeId, msg: Message) -> Optional[Message]:
         """One request/response against ``node``; None means *detector
@@ -393,9 +424,13 @@ class FTCacheClient:
         raise ReadError(f"server error for {path!r}: {resp.header.get('reason')}")
 
     def close(self) -> None:
-        for pooled in self._pool.conns.values():
+        """Close every pooled socket this client ever opened, including
+        those pooled by worker threads that are long gone."""
+        self._pool.conns.clear()
+        with self._socks_lock:
+            socks, self._live_socks = list(self._live_socks), set()
+        for sock in socks:
             try:
-                pooled.sock.close()
+                sock.close()
             except OSError:  # pragma: no cover
                 pass
-        self._pool.conns.clear()

@@ -1,0 +1,133 @@
+"""Result-cache behaviour: hits, content-hash invalidation, project-key
+invalidation, and the CLI surface (--no-cache, --cache-file, stats)."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis.__main__ import main
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.engine import run_lint_paths
+
+DIRTY = """
+    import threading
+
+    def f(target):
+        threading.Thread(target=target).start()
+"""
+
+
+def _write(tmp_path, rel, code):
+    p = tmp_path / rel
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(textwrap.dedent(code))
+    return p
+
+
+class TestCacheEngine:
+    def test_second_run_hits_and_findings_identical(self, tmp_path):
+        _write(tmp_path, "pkg/mod.py", DIRTY)
+        cache_file = tmp_path / "cache.json"
+
+        first = run_lint_paths([tmp_path / "pkg"], cache=AnalysisCache(cache_file))
+        cold = first.cache_stats
+        assert cold["module_misses"] == 1 and cold["module_hits"] == 0
+        assert cold["project_hit"] is False
+
+        second = run_lint_paths([tmp_path / "pkg"], cache=AnalysisCache(cache_file))
+        warm = second.cache_stats
+        assert warm["module_hits"] == 1 and warm["module_misses"] == 0
+        assert warm["project_hit"] is True
+        assert [f.to_dict() for f in first.findings] == [
+            f.to_dict() for f in second.findings
+        ]
+
+    def test_edited_file_invalidates_itself_and_project_key(self, tmp_path):
+        _write(tmp_path, "pkg/a.py", DIRTY)
+        _write(tmp_path, "pkg/b.py", "x = 1\n")
+        cache_file = tmp_path / "cache.json"
+        run_lint_paths([tmp_path / "pkg"], cache=AnalysisCache(cache_file))
+
+        _write(tmp_path, "pkg/a.py", DIRTY + "    y = 2\n")
+        result = run_lint_paths([tmp_path / "pkg"], cache=AnalysisCache(cache_file))
+        stats = result.cache_stats
+        assert stats["module_misses"] == 1  # only the edited file re-ran
+        assert stats["module_hits"] == 1
+        assert stats["project_hit"] is False  # tree changed → interproc re-ran
+
+    def test_touch_without_edit_still_hits(self, tmp_path):
+        import os
+
+        p = _write(tmp_path, "pkg/mod.py", DIRTY)
+        cache_file = tmp_path / "cache.json"
+        run_lint_paths([tmp_path / "pkg"], cache=AnalysisCache(cache_file))
+        os.utime(p)  # new mtime, same content: hash decides, still a hit
+        stats = run_lint_paths(
+            [tmp_path / "pkg"], cache=AnalysisCache(cache_file)
+        ).cache_stats
+        assert stats["module_hits"] == 1 and stats["module_misses"] == 0
+
+    def test_suppressions_apply_on_cache_hits(self, tmp_path):
+        # suppressions are re-applied from source, never baked into the
+        # cached raw findings — a hit must not resurrect silenced rules
+        _write(
+            tmp_path,
+            "pkg/mod.py",
+            """
+            import threading
+
+            def f(target):
+                threading.Thread(target=target).start()  # ftlint: disable=RT002 -- fixture
+            """,
+        )
+        cache_file = tmp_path / "cache.json"
+        assert run_lint_paths([tmp_path], cache=AnalysisCache(cache_file)).findings == []
+        assert run_lint_paths([tmp_path], cache=AnalysisCache(cache_file)).findings == []
+
+
+class TestCacheCLI:
+    def test_stats_in_json_payload(self, tmp_path, capsys):
+        _write(tmp_path, "pkg/mod.py", DIRTY)
+        cache_file = tmp_path / "cache.json"
+        args = [str(tmp_path / "pkg"), "--format", "json",
+                "--cache-file", str(cache_file)]
+        main(args)
+        capsys.readouterr()
+        main(args)
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cache"]["enabled"] is True
+        assert doc["cache"]["module_hits"] == 1
+        assert doc["cache"]["project_hit"] is True
+
+    def test_no_cache_bypasses(self, tmp_path, capsys):
+        _write(tmp_path, "pkg/mod.py", DIRTY)
+        cache_file = tmp_path / "cache.json"
+        main([str(tmp_path / "pkg"), "--no-cache", "--format", "json",
+              "--cache-file", str(cache_file)])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cache"] == {"enabled": False}
+        assert not cache_file.exists()
+
+    def test_lock_graph_artifact_written(self, tmp_path, capsys):
+        _write(
+            tmp_path,
+            "src/repro/runtime/locks.py",
+            """
+            from repro.analysis.lockwitness import named_lock
+
+            a_lock = named_lock("role-a")
+            b_lock = named_lock("role-b")
+
+            def f():
+                with a_lock:
+                    with b_lock:
+                        pass
+            """,
+        )
+        out = tmp_path / "lockgraph.json"
+        main([str(tmp_path / "src"), "--no-cache", "--lock-graph", str(out)])
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert {(e["from"], e["to"]) for e in doc["edges"]} == {("role-a", "role-b")}
+        assert doc["cycles"] == []

@@ -1,0 +1,219 @@
+"""Call-graph construction and CFG shape tests — the substrate every
+interprocedural rule stands on, tested directly so a rule regression can
+be bisected to either extraction or analysis."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.cfg import EXIT, RAISE, build_cfg
+from repro.analysis.visitor import ModuleContext
+
+
+def graph_of(modules: dict) -> CallGraph:
+    ctxs = [ModuleContext.parse(p, textwrap.dedent(s)) for p, s in modules.items()]
+    return CallGraph(ctxs)
+
+
+def fn(graph: CallGraph, suffix: str):
+    hits = [fi for q, fi in graph.functions.items() if q.endswith(suffix)]
+    assert len(hits) == 1, f"{suffix!r} matched {len(hits)} functions"
+    return hits[0]
+
+
+def callee_names(graph: CallGraph, suffix: str) -> set:
+    out = set()
+    for site in graph.callees_of(fn(graph, suffix).qualname):
+        out.update(site.callees)
+    return out
+
+
+class TestCallGraph:
+    def test_module_functions_and_methods_indexed(self):
+        g = graph_of(
+            {
+                "src/pkg/mod.py": """
+                def top():
+                    pass
+
+                class C:
+                    def m(self):
+                        pass
+                """
+            }
+        )
+        assert any(q.endswith(":top") for q in g.functions)
+        assert any(q.endswith(":C.m") for q in g.functions)
+
+    def test_self_dispatch_resolves_to_own_method(self):
+        g = graph_of(
+            {
+                "src/pkg/mod.py": """
+                class C:
+                    def a(self):
+                        self.b()
+
+                    def b(self):
+                        pass
+                """
+            }
+        )
+        assert fn(g, ":C.b").qualname in callee_names(g, ":C.a")
+
+    def test_cross_module_from_import_resolves(self):
+        g = graph_of(
+            {
+                "src/pkg/util.py": """
+                def helper():
+                    pass
+                """,
+                "src/pkg/app.py": """
+                from .util import helper
+
+                def f():
+                    helper()
+                """,
+            }
+        )
+        assert fn(g, "util:helper").qualname in callee_names(g, "app:f")
+
+    def test_virtual_dispatch_includes_subclass_overrides(self):
+        g = graph_of(
+            {
+                "src/pkg/mod.py": """
+                class Base:
+                    def run(self):
+                        self.step()
+
+                    def step(self):
+                        pass
+
+                class Sub(Base):
+                    def step(self):
+                        pass
+                """
+            }
+        )
+        callees = callee_names(g, ":Base.run")
+        assert fn(g, ":Base.step").qualname in callees
+        assert fn(g, ":Sub.step").qualname in callees
+
+    def test_attribute_type_inferred_from_init(self):
+        g = graph_of(
+            {
+                "src/pkg/mod.py": """
+                class Worker:
+                    def run(self):
+                        pass
+
+                class Owner:
+                    def __init__(self):
+                        self.worker = Worker()
+
+                    def go(self):
+                        self.worker.run()
+                """
+            }
+        )
+        assert fn(g, ":Worker.run").qualname in callee_names(g, ":Owner.go")
+
+    def test_nested_def_bodies_are_not_caller_edges(self):
+        # a closure body runs at *call* time, often on another thread —
+        # its calls must not count as edges of the enclosing function
+        g = graph_of(
+            {
+                "src/pkg/mod.py": """
+                def helper():
+                    pass
+
+                def f():
+                    def closure():
+                        helper()
+                    return closure
+                """
+            }
+        )
+        assert fn(g, ":helper").qualname not in callee_names(g, ":f")
+
+
+def cfg_of(code: str):
+    tree = ast.parse(textwrap.dedent(code))
+    return build_cfg(tree.body[0])
+
+
+def node_at(cfg, line: int, role: str = "stmt") -> int:
+    hits = [
+        nid for nid, n in cfg.nodes.items() if n.line == line and n.role == role
+    ]
+    assert len(hits) == 1, f"line {line} role {role!r} matched {hits}"
+    return hits[0]
+
+
+def reachable_from(cfg, start: int) -> set:
+    seen, todo = set(), [start]
+    while todo:
+        nid = todo.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        todo.extend(cfg.successors(nid))
+    return seen
+
+
+class TestCFG:
+    def test_call_statement_has_exception_edge_to_raise(self):
+        cfg = cfg_of(
+            """
+            def f():
+                g()
+            """
+        )
+        nid = node_at(cfg, 3)
+        assert RAISE in cfg.exc_succ.get(nid, set())
+        assert EXIT in reachable_from(cfg, nid)
+
+    def test_pass_has_no_exception_edge(self):
+        cfg = cfg_of(
+            """
+            def f():
+                pass
+            """
+        )
+        nid = node_at(cfg, 3)
+        assert not cfg.exc_succ.get(nid)
+
+    def test_try_except_routes_exception_to_handler_not_raise(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    fallback()
+            """
+        )
+        nid = node_at(cfg, 4)
+        exc = cfg.exc_succ.get(nid, set())
+        assert RAISE not in exc
+        handler = node_at(cfg, 6)
+        assert any(handler in reachable_from(cfg, t) for t in exc)
+
+    def test_try_finally_runs_finally_on_both_exits(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    risky()
+                finally:
+                    cleanup()
+            """
+        )
+        risky, cleanup = node_at(cfg, 4), node_at(cfg, 6)
+        exc = cfg.exc_succ.get(risky, set())
+        # the exceptional path flows through the finally body...
+        assert any(cleanup in reachable_from(cfg, t) for t in exc)
+        # ...which then exits both normally and exceptionally
+        after_cleanup = reachable_from(cfg, cleanup)
+        assert EXIT in after_cleanup and RAISE in after_cleanup

@@ -1,0 +1,139 @@
+"""RES001 fixtures: handle-leak detection over the CFG, exception edges
+included — plus the with/try-finally/escape shapes that must stay clean."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import lint_source
+
+PATH = "src/repro/runtime/snippet.py"
+
+
+def lint(code: str, path: str = PATH):
+    return lint_source(path, textwrap.dedent(code))
+
+
+def rules_of(findings) -> list:
+    return [f.rule for f in findings]
+
+
+class TestRES001TruePositives:
+    def test_never_closed_flags_both_paths(self):
+        findings = lint(
+            """
+            def f(path):
+                fh = open(path)
+                data = fh.read()
+                return data
+            """
+        )
+        assert rules_of(findings) == ["RES001"]
+        assert "normal return and exception paths" in findings[0].message
+
+    def test_closed_only_on_normal_path_flags_exception_path(self):
+        findings = lint(
+            """
+            def f(path):
+                fh = open(path)
+                data = fh.read()
+                fh.close()
+                return data
+            """
+        )
+        assert rules_of(findings) == ["RES001"]
+        assert "exception path" in findings[0].message
+
+    def test_socket_variant_flagged(self):
+        findings = lint(
+            """
+            import socket
+
+            def probe(addr):
+                sock = socket.create_connection(addr, timeout=1.0)
+                sock.sendall(b"ping")
+                return sock.recv(4)
+            """
+        )
+        assert rules_of(findings) == ["RES001"]
+        assert "'sock'" in findings[0].message
+
+    def test_discarded_handle_flagged_directly(self):
+        findings = lint(
+            """
+            def touch(path):
+                open(path)
+            """
+        )
+        assert rules_of(findings) == ["RES001"]
+        assert "discarded" in findings[0].message
+
+    def test_justified_suppression_silences(self):
+        findings = lint(
+            """
+            def f(path):
+                fh = open(path)  # ftlint: disable=RES001 -- handed to atexit in caller
+                return fh.read()
+            """
+        )
+        assert findings == []
+
+
+class TestRES001FalsePositiveGuards:
+    def test_with_block_clean(self):
+        findings = lint(
+            """
+            def f(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        )
+        assert findings == []
+
+    def test_try_finally_clean(self):
+        findings = lint(
+            """
+            def f(path):
+                fh = open(path)
+                try:
+                    data = fh.read()
+                finally:
+                    fh.close()
+                return data
+            """
+        )
+        assert findings == []
+
+    def test_returned_handle_escapes_and_is_not_tracked(self):
+        findings = lint(
+            """
+            import socket
+
+            def connect(addr):
+                sock = socket.create_connection(addr, timeout=1.0)
+                sock.settimeout(1.0)
+                return sock
+            """
+        )
+        assert findings == []
+
+    def test_handle_passed_to_callee_escapes(self):
+        findings = lint(
+            """
+            def f(path, registry):
+                fh = open(path)
+                registry.adopt(fh)
+            """
+        )
+        assert findings == []
+
+    def test_outside_scoped_packages_not_checked(self):
+        findings = lint(
+            """
+            def f(path):
+                fh = open(path)
+                return fh.read()
+            """,
+            path="src/repro/viz/snippet.py",
+        )
+        assert findings == []

@@ -1,0 +1,216 @@
+"""RPC000–RPC004 fixtures: drifted client/server pairs for every rule,
+plus the gating that keeps single-sided lint runs quiet.
+
+The acceptance case for RPC004 is the one the rule exists for: remove a
+field from *one* server reply path and the finding names the op, the
+field, the consumption site, and the deficient reply location."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import run_lint
+
+SERVER = "src/repro/runtime/server_snippet.py"
+CLIENT = "src/repro/runtime/client_snippet.py"
+HVAC = "src/repro/hvac/snippet.py"
+
+
+def lint_project(modules: dict):
+    return run_lint([(p, textwrap.dedent(s)) for p, s in modules.items()]).findings
+
+
+def only(findings, rule: str):
+    hits = [f for f in findings if f.rule == rule]
+    assert len(hits) == 1, [f.format_human() for f in findings]
+    return hits[0]
+
+
+def rules_of(findings) -> list:
+    return [f.rule for f in findings]
+
+
+#: a conforming pair — the baseline every drift below is one edit away from
+SERVER_OK = """
+    OP_READ = "READ"
+    OP_STAT = "STAT"
+
+    class Server:
+        def dispatch(self, msg):
+            if msg.op == OP_READ:
+                path = msg.header.get("path", "")
+                if not path:
+                    return Message.error_response(reason="empty path")
+                return Message.ok_response(source="cache", checksum="abc")
+            if msg.op == OP_STAT:
+                return Message.ok_response(entries=12)
+            return Message.error_response(reason="unknown op")
+"""
+
+CLIENT_OK = """
+    OP_READ = "READ"
+    OP_STAT = "STAT"
+
+    class Client:
+        def read(self, path):
+            resp = self._rpc(Message.request(OP_READ, path=path))
+            return resp.header["checksum"]
+
+        def stat(self):
+            resp = self._rpc(Message.request(OP_STAT))
+            return resp.header.get("entries", 0)
+"""
+
+
+class TestConformingPairIsClean:
+    def test_baseline_pair_clean(self):
+        assert lint_project({SERVER: SERVER_OK, CLIENT: CLIENT_OK}) == []
+
+
+class TestRPC001SentNeverHandled:
+    def test_client_only_op_flagged(self):
+        client = CLIENT_OK + """
+    OP_PURGE = "PURGE"
+
+    class Admin:
+        def purge(self):
+            return self._rpc(Message.request(OP_PURGE))
+"""
+        f = only(lint_project({SERVER: SERVER_OK, CLIENT: client}), "RPC001")
+        assert "OP_PURGE" in f.message and f.path == CLIENT
+
+    def test_lone_client_module_not_flagged(self):
+        # without any handler in the linted set there is no server side
+        # to conform to — gating keeps partial lint runs quiet
+        assert lint_project({CLIENT: CLIENT_OK}) == []
+
+
+class TestRPC002HandledNeverSent:
+    def test_server_only_branch_flagged(self):
+        client = """
+    OP_READ = "READ"
+
+    class Client:
+        def read(self, path):
+            resp = self._rpc(Message.request(OP_READ, path=path))
+            return resp.header["checksum"]
+"""
+        findings = lint_project({SERVER: SERVER_OK, CLIENT: client})
+        f = only(findings, "RPC002")
+        assert "OP_STAT" in f.message and f.path == SERVER
+
+
+class TestRPC003RequestFieldNotSupplied:
+    def test_read_field_no_sender_supplies_flagged(self):
+        client = CLIENT_OK.replace(
+            "Message.request(OP_READ, path=path)", "Message.request(OP_READ)"
+        )
+        f = only(lint_project({SERVER: SERVER_OK, CLIENT: client}), "RPC003")
+        assert "'path'" in f.message and f.path == SERVER
+        assert CLIENT in f.message  # the senders are named
+
+    def test_wildcard_sender_satisfies(self):
+        client = CLIENT_OK.replace(
+            "Message.request(OP_READ, path=path)",
+            "Message.request(OP_READ, **fields)",
+        )
+        assert lint_project({SERVER: SERVER_OK, CLIENT: client}) == []
+
+
+class TestRPC004ResponseFieldDrift:
+    def test_removing_field_from_one_reply_path_caught(self):
+        # the acceptance drift: 'checksum' disappears from the cache-hit
+        # reply only; the client's strict read still demands it everywhere
+        server = SERVER_OK.replace(
+            'return Message.ok_response(source="cache", checksum="abc")',
+            'return Message.ok_response(source="cache")',
+        )
+        findings = lint_project({SERVER: server, CLIENT: CLIENT_OK})
+        f = only(findings, "RPC004")
+        assert "'checksum'" in f.message and "'READ'" in f.message
+        assert f.path == CLIENT  # anchored at the consumption site
+        assert SERVER in f.message  # ...and names the deficient reply path
+
+    def test_soft_read_tolerates_partial_reply_paths(self):
+        # .get() consumption only requires *some* reply path to set it —
+        # here a second ok path without 'checksum' stays acceptable
+        server = SERVER_OK.replace(
+            'return Message.error_response(reason="empty path")',
+            'return Message.ok_response(source="none")',
+        )
+        client = CLIENT_OK.replace(
+            'resp.header["checksum"]', 'resp.header.get("checksum")'
+        )
+        assert lint_project({SERVER: server, CLIENT: client}) == []
+
+    def test_field_set_nowhere_flagged_even_for_soft_read(self):
+        client = CLIENT_OK.replace(
+            'resp.header["checksum"]', 'resp.header.get("sha256")'
+        )
+        f = only(lint_project({SERVER: SERVER_OK, CLIENT: client}), "RPC004")
+        assert "'sha256'" in f.message and "no server reply path" in f.message
+
+    def test_dict_header_wildcard_consumption_asserts_nothing(self):
+        client = CLIENT_OK.replace(
+            'resp.header["checksum"]', "dict(resp.header)"
+        )
+        server = SERVER_OK.replace(', checksum="abc"', "")
+        assert lint_project({SERVER: server, CLIENT: client}) == []
+
+
+class TestRPC000OpLiteralDrift:
+    def test_string_literal_op_flagged_with_constant_hint(self):
+        client = CLIENT_OK.replace(
+            "Message.request(OP_READ, path=path)",
+            'Message.request("READ", path=path)',
+        )
+        f = only(lint_project({SERVER: SERVER_OK, CLIENT: client}), "RPC000")
+        assert "OP_READ" in f.message  # hints at the existing constant
+
+    def test_unknown_op_constant_flagged(self):
+        client = CLIENT_OK + """
+    class Admin:
+        def purge(self):
+            return self._rpc(Message.request(OP_PURGE))
+"""
+        findings = lint_project({SERVER: SERVER_OK, CLIENT: client})
+        assert "RPC000" in rules_of(findings)
+        f = only(findings, "RPC000")
+        assert "OP_PURGE" in f.message
+
+
+class TestHvacDataclassConformance:
+    CLEAN = """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class ReadRequest:
+            files: tuple
+
+        @dataclass(frozen=True)
+        class ReadResponse:
+            served_bytes: int
+            hit_files: int
+
+        def fetch(rpc, files):
+            request = ReadRequest(files=tuple(files))
+            result = rpc.call(request)
+            served = result.value
+            return served.served_bytes + served.hit_files
+    """
+
+    def test_clean_pair(self):
+        assert lint_project({HVAC: self.CLEAN}) == []
+
+    def test_reading_missing_response_field_flagged(self):
+        code = self.CLEAN.replace("served.hit_files", "served.miss_files")
+        f = only(lint_project({HVAC: code}), "RPC004")
+        assert "miss_files" in f.message and "ReadResponse" in f.message
+
+    def test_constructing_request_with_unknown_field_flagged(self):
+        code = self.CLEAN.replace(
+            "ReadRequest(files=tuple(files))",
+            "ReadRequest(files=tuple(files), shard=3)",
+        )
+        f = only(lint_project({HVAC: code}), "RPC003")
+        assert "'shard'" in f.message and "ReadRequest" in f.message

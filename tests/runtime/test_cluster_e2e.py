@@ -55,6 +55,18 @@ class TestHappyPath:
         stat = client.server_stat(node)
         assert stat is not None and stat["node_id"] == node
 
+    def test_ping_live_server(self, cluster):
+        client = cluster.client()
+        node = cluster.owner_of(cluster.paths[0], client.policy)
+        assert client.ping(node) is True
+
+    def test_ping_dead_server_false_and_feeds_detector(self, cluster):
+        client = cluster.client()
+        victim = cluster.owner_of(cluster.paths[0], client.policy)
+        cluster.kill_server(victim, mode="hang")
+        assert client.ping(victim) is False
+        assert client.detector.pending_count(victim) >= 1
+
     def test_load_spread_across_servers(self, cluster):
         client = cluster.client()
         for p in cluster.paths:
