@@ -260,7 +260,8 @@ class TreeHashRing(PlacementPolicy):
     def _positions_for(self, node: NodeId) -> list[int]:
         return [hash64(f"{node}#vn{r}", self.algo) for r in range(self.vnodes_per_node)]
 
-    def add_node(self, node: NodeId) -> None:
+    def add_node(self, node: NodeId, weight: "float | None" = None) -> None:
+        # the ordered-map ablation keeps uniform vnodes; weight is ignored
         if node in self._members:
             raise ValueError(f"node {node!r} already on the ring")
         positions = self._positions_for(node)

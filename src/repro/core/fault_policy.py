@@ -97,11 +97,16 @@ class FaultPolicy(abc.ABC):
     def on_node_failed(self, node: NodeId) -> None:
         """React to a failure declaration from the detector."""
 
-    def on_node_joined(self, node: NodeId) -> None:
-        """Default elastic-join handling: (re)admit into placement."""
+    def on_node_joined(self, node: NodeId, weight: "float | None" = None) -> None:
+        """Default elastic-join handling: (re)admit into placement.
+
+        ``weight`` is the joining node's relative capacity, forwarded to
+        the placement (capacity-aware policies scale the node's share of
+        the keyspace; others ignore it).
+        """
         self._failed.discard(node)
         if node not in self.placement.nodes:
-            self.placement.add_node(node)
+            self.placement.add_node(node, weight=weight)
 
 
 class NoFT(FaultPolicy):

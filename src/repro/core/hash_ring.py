@@ -23,6 +23,19 @@ per-node vnode cache in O(V log V) — for 1024 nodes × 100 vnodes that is
 ~10⁵ elements, a few milliseconds, and far cheaper than the data movement
 it decides.  An ordered-map variant matching the paper's ``std::map``
 implementation lives in :mod:`repro.core.avl` for the ablation study.
+
+Two refinements serve elastic scale-out (:mod:`repro.rebalance`):
+
+* **Capacity weights** — a node with weight ``w`` carries ``round(w ×
+  vnodes_per_node)`` virtual nodes, so a join can bring a bigger (or
+  smaller) NVMe and receive a proportional share of the keyspace.
+  :meth:`add_node` accepts the weight at join time.
+* **Multiprobe lookup** (``probes > 1``) — each key derives ``probes``
+  candidate ring positions (SplitMix64 remixes of its hash) and is owned
+  by the probe whose clockwise successor is *nearest*.  This smooths the
+  arc-length variance that makes one node a hotspot at low vnode counts,
+  without growing the ring (the classic multi-probe consistent hashing
+  trade: O(probes) lookups for O(1) memory).
 """
 
 from __future__ import annotations
@@ -31,7 +44,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from .hashing import hash64
+from .hashing import hash64, splitmix64
 from .placement import Key, NodeId, PlacementPolicy
 
 __all__ = ["HashRing", "EmptyRingError", "DEFAULT_VNODES"]
@@ -79,11 +92,23 @@ class HashRing(PlacementPolicy):
         vnodes_per_node: int = DEFAULT_VNODES,
         algo: str = "blake2b",
         weights: Optional[dict] = None,
+        probes: int = 1,
     ):
         if vnodes_per_node < 1:
             raise ValueError(f"vnodes_per_node must be >= 1, got {vnodes_per_node}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
         self.vnodes_per_node = int(vnodes_per_node)
         self.algo = algo
+        #: multiprobe lookup width; 1 = classic consistent hashing, k > 1
+        #: hashes each key k ways and takes the probe with the smallest
+        #: clockwise gap to its successor vnode (hotspot smoothing)
+        self.probes = int(probes)
+        self._probe_salts = np.fromiter(
+            (hash64(f"probe-salt:{j}", algo) for j in range(1, self.probes)),
+            dtype=np.uint64,
+            count=self.probes - 1,
+        )
         #: per-node capacity weight; a node with weight w gets
         #: ``round(w × vnodes_per_node)`` virtual nodes (min 1), so its
         #: share of the keyspace scales with its capacity — heterogeneous
@@ -132,7 +157,17 @@ class HashRing(PlacementPolicy):
         self._members[node] = self._vnode_hashes(node)
         self._dirty = True
 
-    def add_node(self, node: NodeId) -> None:
+    def add_node(self, node: NodeId, weight: Optional[float] = None) -> None:
+        """Admit ``node``, optionally with a capacity ``weight`` (default 1.0).
+
+        Passing a weight at join time is what lets an elastic scale-out
+        bring heterogeneous hardware: the new node's share of the keyspace
+        is ``weight / total_weight`` rather than ``1/N``.
+        """
+        if weight is not None:
+            if weight <= 0:
+                raise ValueError(f"weight for node {node!r} must be positive, got {weight}")
+            self._weights[node] = float(weight)
         self._admit(node)
         self._rebuild()
 
@@ -165,20 +200,50 @@ class HashRing(PlacementPolicy):
         self._owners = owners[order]
 
     # -- lookups -----------------------------------------------------------------
+    def _probe_hashes(self, key_hashes: np.ndarray) -> np.ndarray:
+        """Shape (probes, n) candidate positions; row 0 is the raw hash."""
+        h = key_hashes.astype(np.uint64, copy=False)
+        if self.probes == 1:
+            return h[np.newaxis, :]
+        rows = [h]
+        for salt in self._probe_salts:
+            rows.append(splitmix64(h ^ salt))
+        return np.stack(rows)
+
+    def _probe_owners(
+        self, positions: np.ndarray, owners: np.ndarray, key_hashes: np.ndarray
+    ) -> np.ndarray:
+        """Multiprobe owner selection against an arbitrary (positions, owners)
+        view — shared by the live ring, the exclusion view, and the
+        candidate-join view so all three agree bit-for-bit."""
+        ph = self._probe_hashes(key_hashes)  # (probes, n)
+        idx = np.searchsorted(positions, ph, side="right")
+        idx[idx == len(positions)] = 0
+        if self.probes == 1:
+            return owners[idx[0]]
+        # Clockwise gap from each probe to its successor vnode; uint64
+        # modular subtraction wraps correctly past the top of the ring.
+        with np.errstate(over="ignore"):
+            gaps = positions[idx] - ph
+        best = np.argmin(gaps, axis=0)
+        return owners[idx[best, np.arange(ph.shape[1])]]
+
     def lookup_hash(self, key_hash: int) -> NodeId:
         if len(self._positions) == 0:
             raise EmptyRingError("hash ring has no nodes")
-        idx = int(np.searchsorted(self._positions, np.uint64(key_hash), side="right"))
-        if idx == len(self._positions):
-            idx = 0  # wrap past the top of the ring
-        return self._owners[idx]
+        if self.probes == 1:
+            idx = int(np.searchsorted(self._positions, np.uint64(key_hash), side="right"))
+            if idx == len(self._positions):
+                idx = 0  # wrap past the top of the ring
+            return self._owners[idx]
+        return self._probe_owners(
+            self._positions, self._owners, np.array([key_hash], dtype=np.uint64)
+        )[0]
 
     def lookup_hashes(self, key_hashes: np.ndarray) -> np.ndarray:
         if len(self._positions) == 0:
             raise EmptyRingError("hash ring has no nodes")
-        idx = np.searchsorted(self._positions, key_hashes.astype(np.uint64, copy=False), side="right")
-        idx[idx == len(self._positions)] = 0
-        return self._owners[idx]
+        return self._probe_owners(self._positions, self._owners, key_hashes)
 
     def lookup_hashes_excluding(self, key_hashes: np.ndarray, exclude: NodeId) -> np.ndarray:
         """Owners as if ``exclude`` had been removed — without mutating the ring.
@@ -193,11 +258,40 @@ class HashRing(PlacementPolicy):
         if len(self._members) <= 1:
             raise EmptyRingError("removing the only node leaves an empty ring")
         keep = self._owners != exclude
-        positions = self._positions[keep]
-        owners = self._owners[keep]
-        idx = np.searchsorted(positions, key_hashes.astype(np.uint64, copy=False), side="right")
-        idx[idx == len(positions)] = 0
-        return owners[idx]
+        return self._probe_owners(self._positions[keep], self._owners[keep], key_hashes)
+
+    def lookup_hashes_including(
+        self, key_hashes: np.ndarray, node: NodeId, weight: Optional[float] = None
+    ) -> np.ndarray:
+        """Owners as if ``node`` had been added — without mutating the ring.
+
+        This is the planning half of an elastic join (``repro.rebalance``):
+        the coordinator diffs these owners against :meth:`lookup_hashes` to
+        find exactly the keys the candidate would steal, *before* touching
+        any live placement.  Mirrors :meth:`_rebuild`'s concatenate +
+        ``lexsort((owner, position))`` ordering so the answer is
+        bit-for-bit what :meth:`add_node` would later produce.
+        """
+        if node in self._members:
+            raise ValueError(f"node {node!r} already on the ring")
+        if weight is not None and weight <= 0:
+            raise ValueError(f"weight for node {node!r} must be positive, got {weight}")
+        w = float(weight) if weight is not None else self._weights.get(node, 1.0)
+        count = max(1, int(round(w * self.vnodes_per_node)))
+        cand = np.fromiter(
+            (hash64(_vnode_token(node, r), self.algo) for r in range(count)),
+            dtype=np.uint64,
+            count=count,
+        )
+        nodes = list(self._members) + [node]
+        pos = np.concatenate([self._members[n] for n in self._members] + [cand])
+        counts = [len(self._members[n]) for n in self._members] + [count]
+        own_idx = np.repeat(np.arange(len(nodes)), counts)
+        order = np.lexsort((own_idx, pos))
+        owners = np.empty(len(pos), dtype=object)
+        for i, n in enumerate(nodes):
+            owners[own_idx == i] = n
+        return self._probe_owners(pos[order], owners[order], key_hashes)
 
     def successors(self, key: Key, k: Optional[int] = None) -> list[NodeId]:
         """First ``k`` *distinct* nodes clockwise from ``key``'s position.
@@ -268,8 +362,22 @@ class HashRing(PlacementPolicy):
             a.nbytes for a in self._members.values()
         )
 
+    def clone(self) -> "HashRing":
+        """Independent copy with identical membership, weights and probes.
+
+        Join planning snapshots the ring this way so the plan is computed
+        against frozen state while the live ring keeps serving lookups.
+        """
+        return HashRing(
+            nodes=list(self._members),
+            vnodes_per_node=self.vnodes_per_node,
+            algo=self.algo,
+            weights={n: self._weights[n] for n in self._weights if n in self._members},
+            probes=self.probes,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"HashRing(nodes={len(self._members)}, vnodes_per_node={self.vnodes_per_node}, "
-            f"algo={self.algo!r})"
+            f"algo={self.algo!r}, probes={self.probes})"
         )

@@ -86,10 +86,29 @@ class MembershipView:
         self._transition(node, NodeState.ACTIVE)
 
     def admit(self, node: NodeId) -> None:
-        """Add a brand-new node in ACTIVE state (elastic scale-up)."""
+        """Add a brand-new node in ACTIVE state (elastic scale-up).
+
+        The version bump and listener notification happen *before* this
+        call returns, i.e. before any caller can couple the node into a
+        placement — subscribers observing the admission are guaranteed to
+        see pre-join routing (the lookup-before-backfill window is closed
+        by ordering, not by luck; see ``repro.rebalance.coordinator``).
+        """
         if node in self._state:
             raise ValueError(f"node {node!r} already tracked")
         self._state[node] = NodeState.ACTIVE
         self._version += 1
         for cb in list(self._listeners):
             cb(node, NodeState.ACTIVE)
+
+    def ensure_active(self, node: NodeId) -> None:
+        """Admit ``node`` if unknown, else transition it to ACTIVE.
+
+        Idempotent convenience for join/rejoin paths that cannot know
+        whether the node was ever tracked (a rejoining server is tracked
+        FAILED; a brand-new one is untracked).
+        """
+        if node in self._state:
+            self._transition(node, NodeState.ACTIVE)
+        else:
+            self.admit(node)

@@ -50,8 +50,13 @@ class PlacementPolicy(abc.ABC):
         """Currently active nodes, in a deterministic order."""
 
     @abc.abstractmethod
-    def add_node(self, node: NodeId) -> None:
-        """Admit ``node``; subsequent lookups may route keys to it."""
+    def add_node(self, node: NodeId, weight: "float | None" = None) -> None:
+        """Admit ``node``; subsequent lookups may route keys to it.
+
+        ``weight`` is the node's relative capacity.  Policies without a
+        notion of capacity accept and ignore it so elastic join code can
+        pass it uniformly.
+        """
 
     @abc.abstractmethod
     def remove_node(self, node: NodeId) -> None:

@@ -55,7 +55,8 @@ class RangePartition(PlacementPolicy):
         hi = int(self._starts[i + 1]) if i + 1 < len(self._nodes) else _SPACE
         return lo, hi
 
-    def add_node(self, node: NodeId) -> None:
+    def add_node(self, node: NodeId, weight: "float | None" = None) -> None:
+        # ranges are split evenly or by widest-range; weight is ignored
         if node in self._nodes:
             raise ValueError(f"node {node!r} already present")
         self._nodes.append(node)

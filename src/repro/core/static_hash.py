@@ -32,7 +32,9 @@ class StaticHash(PlacementPolicy):
     def nodes(self) -> tuple[NodeId, ...]:
         return tuple(self._nodes)
 
-    def add_node(self, node: NodeId) -> None:
+    def add_node(self, node: NodeId, weight: "float | None" = None) -> None:
+        # hash-mod-N has no capacity notion; weight accepted for interface
+        # uniformity and ignored
         if node in self._nodes:
             raise ValueError(f"node {node!r} already present")
         self._nodes.append(node)

@@ -17,9 +17,17 @@ from .drivers import (
     OpenLoopDriver,
     make_driver,
 )
-from .scenario import ChaosEvent, PhaseReport, PhaseSpec, Scenario, ScenarioReport
+from .scenario import (
+    BENCH_SCHEMA_VERSION,
+    ChaosEvent,
+    PhaseReport,
+    PhaseSpec,
+    Scenario,
+    ScenarioReport,
+)
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "Op",
     "Workload",
     "WorkloadSpec",

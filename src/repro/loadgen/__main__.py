@@ -81,11 +81,16 @@ def build_scenario(cluster: LocalCluster, args: argparse.Namespace) -> Scenario:
                 PhaseSpec(name="chaos", duration=args.chaos, driver=driver, monkey=monkey)
             )
         else:
-            kill_at = args.kill_at if args.kill_at is not None else args.chaos * 0.5
-            events.append(ChaosEvent(at=kill_at, action="kill", kill_mode=args.kill_mode))
-            if not args.no_restart:
-                restart_at = args.restart_at if args.restart_at is not None else args.chaos * 0.75
-                events.append(ChaosEvent(at=restart_at, action="restart"))
+            if not args.no_kill:
+                kill_at = args.kill_at if args.kill_at is not None else args.chaos * 0.5
+                events.append(ChaosEvent(at=kill_at, action="kill", kill_mode=args.kill_mode))
+                if not args.no_restart:
+                    restart_at = args.restart_at if args.restart_at is not None else args.chaos * 0.75
+                    events.append(ChaosEvent(at=restart_at, action="restart"))
+            if args.join_at is not None:
+                events.append(
+                    ChaosEvent(at=args.join_at, action="join", weight=args.join_weight)
+                )
             phases.append(
                 PhaseSpec(name="chaos", duration=args.chaos, driver=driver, chaos=tuple(events))
             )
@@ -98,6 +103,8 @@ def build_scenario(cluster: LocalCluster, args: argparse.Namespace) -> Scenario:
         "nvme_capacity_bytes": args.capacity or None,
         "mover_workers": args.mover_workers,
         "mover_queue_depth": args.mover_queue_depth,
+        "join_at": args.join_at,
+        "join_weight": args.join_weight,
         "seed": args.seed,
     }
     return Scenario(cluster, workload, phases, extra_config=cli_config)
@@ -139,7 +146,13 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--restart-at", type=float, default=None,
                         help="seconds into the chaos phase to restart it (default: 75%%)")
     parser.add_argument("--no-restart", action="store_true", help="leave the killed server down")
+    parser.add_argument("--no-kill", action="store_true",
+                        help="skip the scheduled kill/restart (e.g. for a join-only chaos phase)")
     parser.add_argument("--kill-mode", choices=("hang", "drop"), default="hang")
+    parser.add_argument("--join-at", type=float, default=None,
+                        help="seconds into the chaos phase to live-join a new server (elastic scale-out)")
+    parser.add_argument("--join-weight", type=float, default=1.0,
+                        help="capacity weight of the joining server (weighted virtual nodes)")
     parser.add_argument("--monkey-interval", type=float, default=0.0,
                         help="use a random ChaosMonkey (mean seconds between events) instead of one scheduled kill")
     parser.add_argument("--seed", type=int, default=2024)
@@ -168,6 +181,17 @@ def main(argv: list[str] | None = None) -> int:
     for phase in report.phases:
         for action in phase.chaos_actions:
             print(f"  chaos[{phase.name}] t={action['t']:.2f}s {action['action']} node {action['node']}")
+    for join in report.rebalance.get("joins", ()):
+        plan = join.get("plan", {})
+        print(
+            f"  join node {join['node']} [{join['state']}]: "
+            f"{join['warmed_keys']}/{plan.get('moved_keys', 0)} keys warmed "
+            f"({join['warmed_bytes']} B) in {join['warmup_seconds']:.2f}s, "
+            f"moved fraction {plan.get('predicted_fraction', 0):.3f} "
+            f"(theoretical {plan.get('theoretical_fraction', 0):.3f}), "
+            f"{join['throttle_pauses']} throttle pauses, "
+            f"epoch {join['planned_epoch']}->{join['cutover_epoch']}"
+        )
     totals = report.totals()
     print(f"totals: {totals['ops']} ops in {totals['duration_s']:.1f}s "
           f"({totals['throughput_ops_s']:.0f} ops/s), {totals['errors']} errors, {totals['shed']} shed")

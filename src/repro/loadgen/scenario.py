@@ -42,7 +42,13 @@ __all__ = ["ChaosEvent", "PhaseSpec", "PhaseReport", "ScenarioReport", "Scenario
 #: race_fallthroughs; client_stats split cache_reads into
 #: server_cache_reads / server_pfs_reads (the old key stays as an alias)
 #: and added reconnects.
-BENCH_SCHEMA_VERSION = 2
+#: v3: elastic scale-out — ChaosEvent action "join" (live node join via
+#: repro.rebalance), a top-level "rebalance" block (per-join move plan,
+#: warmup traffic, cutover epochs, final ring epoch + membership version),
+#: join/transfer counters in per-phase deltas and server snapshots
+#: (join_plans, transfers_in, transfer_bytes), and client
+#: join_plans_sent / transfers_sent counters.
+BENCH_SCHEMA_VERSION = 3
 
 _DELTA_KEYS = (
     "hits",
@@ -55,24 +61,32 @@ _DELTA_KEYS = (
     "mover_enqueued",
     "mover_coalesced",
     "mover_dropped",
+    "join_plans",
+    "transfers_in",
+    "transfer_bytes",
 )
 
 
 @dataclass(frozen=True)
 class ChaosEvent:
-    """One scheduled failure-injection action within a phase."""
+    """One scheduled failure-injection (or scale-out) action within a phase."""
 
     at: float  # seconds into the phase
-    action: str  # "kill" | "restart"
-    #: node id, or "auto" (kill: lowest-id live node; restart: lowest dead)
+    action: str  # "kill" | "restart" | "join"
+    #: node id, or "auto" (kill: lowest-id live node; restart: lowest dead;
+    #: join: always auto — the cluster assigns the next id)
     node: int | str = "auto"
     kill_mode: str = "hang"
+    #: capacity weight for a "join" action (weighted virtual nodes)
+    weight: float = 1.0
 
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ValueError("at must be >= 0")
-        if self.action not in ("kill", "restart"):
-            raise ValueError("action must be 'kill' or 'restart'")
+        if self.action not in ("kill", "restart", "join"):
+            raise ValueError("action must be 'kill', 'restart' or 'join'")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
 
 
 @dataclass(frozen=True)
@@ -119,6 +133,9 @@ class ScenarioReport:
     phases: list[PhaseReport]
     client_stats: dict
     server_snapshots: dict
+    #: elastic scale-out summary (schema v3): per-join plan/warmup reports,
+    #: final ring epoch and membership version; empty dict when no joins ran
+    rebalance: dict = field(default_factory=dict)
 
     def totals(self) -> dict:
         ops = sum(p.result.ops for p in self.phases)
@@ -140,6 +157,7 @@ class ScenarioReport:
             "totals": self.totals(),
             "client_stats": self.client_stats,
             "servers": self.server_snapshots,
+            "rebalance": self.rebalance,
         }
 
     def write_json(self, path: str | Path) -> Path:
@@ -168,10 +186,27 @@ class _ChaosScheduler:
         return dead[0] if dead else None
 
     def _run(self) -> None:
+        from ..rebalance import JoinAborted
+
         t0 = time.monotonic()
         for event in self.events:
             if self._stop.wait(timeout=max(0.0, t0 + event.at - time.monotonic())):
                 return
+            if event.action == "join":
+                # Live scale-out under traffic: plan → warm → cutover runs
+                # entirely on this thread; serving traffic never stops.
+                try:
+                    report = self.cluster.join_server(weight=event.weight)
+                except JoinAborted as exc:
+                    self.fired.append(
+                        {"t": round(time.monotonic() - t0, 3), "action": "join-aborted",
+                         "node": None, "reason": str(exc)}
+                    )
+                    continue
+                self.fired.append(
+                    {"t": round(time.monotonic() - t0, 3), "action": "join", "node": report.node}
+                )
+                continue
             node = self._resolve(event)
             if node is None:
                 continue  # nothing to kill/restart
@@ -248,7 +283,8 @@ class Scenario:
                     "duration": s.duration,
                     "driver": s.driver.to_dict(),
                     "chaos": [
-                        {"at": e.at, "action": e.action, "node": e.node, "kill_mode": e.kill_mode}
+                        {"at": e.at, "action": e.action, "node": e.node,
+                         "kill_mode": e.kill_mode, "weight": e.weight}
                         for e in s.chaos
                     ],
                     "monkey": s.monkey,
@@ -257,9 +293,17 @@ class Scenario:
             ],
             **self.extra_config,
         }
+        rebalance: dict = {}
+        if self.cluster.join_reports:
+            rebalance = {
+                "joins": [r.to_dict() for r in self.cluster.join_reports],
+                "ring_epoch": self.cluster.ring_epoch.value,
+                "membership_version": self.cluster.membership.version,
+            }
         return ScenarioReport(
             config=config,
             phases=reports,
             client_stats=dict(self.client.stats),
             server_snapshots=self.cluster.server_snapshots(),
+            rebalance=rebalance,
         )

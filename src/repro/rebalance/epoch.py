@@ -1,0 +1,41 @@
+"""Versioned ring epoch: a monotone counter naming each placement state.
+
+Every membership change (join cutover, failure declaration, repair)
+advances the epoch, so any component can cheaply answer "has placement
+changed since I looked?" without comparing rings.  The join coordinator
+records the epoch at plan time and at cutover; a client admitted at epoch
+``e`` knows every pooled connection opened before ``e`` may be stale —
+the same lazy-invalidation idea as the client's per-node connection
+epochs, lifted to the whole placement.
+"""
+
+from __future__ import annotations
+
+from ..analysis import lockwitness
+
+__all__ = ["RingEpoch"]
+
+
+class RingEpoch:
+    """Thread-safe monotone epoch counter for placement versions."""
+
+    def __init__(self, initial: int = 0):
+        if initial < 0:
+            raise ValueError(f"initial epoch must be >= 0, got {initial}")
+        self._value = int(initial)
+        # Guards only the counter — never held across I/O.
+        self._lock = lockwitness.named_lock("ring-epoch")
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def advance(self) -> int:
+        """Bump and return the new epoch (one per placement change)."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RingEpoch({self.value})"

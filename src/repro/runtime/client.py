@@ -41,7 +41,17 @@ from ..analysis import lockwitness
 from ..core.failure_detector import TimeoutFailureDetector
 from ..core.fault_policy import FaultPolicy
 from ..core.replication import ReplicatedRecache
-from .protocol import OP_PING, OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
+from .protocol import (
+    OP_JOIN_PLAN,
+    OP_PING,
+    OP_PUT,
+    OP_READ,
+    OP_STAT,
+    OP_TRANSFER,
+    Message,
+    recv_message,
+    send_message,
+)
 from .storage import PFSDir
 
 __all__ = ["FTCacheClient", "ReadError", "CLIENT_COUNTER_KEYS"]
@@ -62,6 +72,8 @@ CLIENT_COUNTER_KEYS = (
     "writes",
     "cache_installs",
     "reconnects",
+    "join_plans_sent",
+    "transfers_sent",
 )
 
 
@@ -262,7 +274,7 @@ class FTCacheClient:
     def read_many(self, paths: list[str]) -> list[bytes]:
         return [self.read(p) for p in paths]
 
-    def admit_node(self, node: NodeId, addr: tuple) -> None:
+    def admit_node(self, node: NodeId, addr: tuple, weight: Optional[float] = None) -> None:
         """(Re-)admit a server: elastic scale-up / rejoin after repair.
 
         Updates the address book, bumps the node's connection epoch (every
@@ -272,13 +284,75 @@ class FTCacheClient:
         history, and re-adds it to the placement — keys that lived there
         before the failure flow back, and (for a rejoining node) its
         cache directory still holds them, so the rejoin is warm.
+
+        ``weight`` is the node's relative capacity, honoured by
+        capacity-aware placements (a weighted ring gives the node a
+        ``weight/total_weight`` share) and ignored by the rest.
         """
         self.servers[node] = tuple(addr)
         self._bump_epoch(node)
         self._drop_conn(node)
         self.detector.reset(node)
         with self._policy_lock:
-            self.policy.on_node_joined(node)
+            self.policy.on_node_joined(node, weight=weight)
+
+    def register_address(self, node: NodeId, addr: tuple) -> None:
+        """Address-book-only registration: explicit-node RPCs (``ping``,
+        ``transfer``, ``join_plan``, ``read_from``) can reach ``node``, but
+        no placement learns of it — routing is untouched.  This is how the
+        join coordinator talks to a node *before* cutover makes it an
+        owner of anything.
+        """
+        self.servers[node] = tuple(addr)
+
+    def read_from(self, node: NodeId, path: str) -> Optional[tuple[bytes, str]]:
+        """One explicit-node READ: ``(data, source)``, or None on
+        timeout/refusal (raises :class:`ReadError` for a missing file).
+
+        Bypasses placement entirely — the rebalance coordinator uses this
+        to pull moved keys from their *current* owner regardless of what
+        any policy would route.  Outcomes deliberately do not feed the
+        failure detector: warmup traffic must not declare nodes.
+        """
+        return self._rpc_read(node, path)
+
+    def transfer(self, node: NodeId, path: str, data: bytes) -> Optional[dict]:
+        """Push one moved key into ``node``'s bounded data mover.
+
+        Returns ``{"accepted": bool, "queue_len": int}`` from the node's
+        reply, or None on timeout/refusal.  ``accepted=False`` means the
+        mover is closed (node shutting down); ``queue_len`` lets the
+        caller throttle against the bound instead of overrunning it.
+        """
+        msg = Message.request(OP_TRANSFER, path=path)
+        msg.payload = data
+        resp = self._rpc(node, msg)
+        if resp is None or not resp.ok:
+            return None
+        self._bump(transfers_sent=1)
+        return {
+            "accepted": bool(resp.header.get("accepted", False)),
+            "queue_len": int(resp.header.get("queue_len", 0)),
+        }
+
+    def join_plan(
+        self, node: NodeId, planned_keys: int, planned_bytes: int, epoch: int
+    ) -> bool:
+        """Announce a move plan to the joining ``node``; True iff it
+        acknowledged (doubles as the pre-warmup liveness check)."""
+        resp = self._rpc(
+            node,
+            Message.request(
+                OP_JOIN_PLAN,
+                planned_keys=int(planned_keys),
+                planned_bytes=int(planned_bytes),
+                epoch=int(epoch),
+            ),
+        )
+        if resp is None or not resp.ok:
+            return False
+        self._bump(join_plans_sent=1)
+        return True
 
     def server_stat(self, node: NodeId) -> Optional[dict]:
         """STAT one server (None on timeout); for tests and monitoring."""

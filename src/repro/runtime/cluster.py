@@ -25,9 +25,11 @@ from typing import Optional
 import numpy as np
 
 from ..core.fault_policy import FaultPolicy, make_policy
+from ..core.membership import MembershipView
 from ..core.replication import ReplicatedRecache
 from ..core.hash_ring import HashRing
 from ..core.static_hash import StaticHash
+from ..rebalance import JoinCoordinator, JoinReport, RingDiff, RingEpoch
 from .client import FTCacheClient
 from .server import STAT_COUNTER_KEYS, FTCacheServer
 from .storage import NVMeDir, PFSDir
@@ -51,6 +53,7 @@ class LocalCluster:
         replicas: int = 2,
         mover_workers: int = 2,
         mover_queue_depth: int = 64,
+        ring_probes: int = 1,
     ):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
@@ -60,6 +63,8 @@ class LocalCluster:
         self.timeout_threshold = timeout_threshold
         self.mover_workers = mover_workers
         self.mover_queue_depth = mover_queue_depth
+        self.nvme_capacity_bytes = nvme_capacity_bytes
+        self.ring_probes = ring_probes
         self._owns_workdir = workdir is None
         self.workdir = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="ftcache-"))
         self.pfs = PFSDir(self.workdir / "pfs", read_delay=pfs_read_delay)
@@ -68,8 +73,18 @@ class LocalCluster:
             nvme = NVMeDir(self.workdir / f"nvme{i}", capacity_bytes=nvme_capacity_bytes)
             self.servers[i] = self._spawn_server(i, nvme)
         self.vnodes_per_node = vnodes_per_node
+        #: per-node capacity weight, threaded into every new client's ring
+        #: (nodes absent here weigh 1.0); set by join_server(weight=...)
+        self.node_weights: dict[int, float] = {}
+        #: cluster-level liveness/placement truth: kills mark FAILED,
+        #: restarts mark ACTIVE, joins admit — always *before* placements flip
+        self.membership = MembershipView(sorted(self.servers))
+        #: placement version; advanced on every membership change
+        self.ring_epoch = RingEpoch()
         self.paths: list[str] = []
         self._clients: list[FTCacheClient] = []
+        #: reports of completed/aborted elastic joins, in order
+        self.join_reports: list[JoinReport] = []
         #: counters of server instances retired by restart_server, so
         #: cluster-wide totals stay monotone across repairs
         self._retired_stats = {k: 0 for k in (*STAT_COUNTER_KEYS, "evictions")}
@@ -88,7 +103,12 @@ class LocalCluster:
     # -- construction helpers ---------------------------------------------------------
     def _make_placement(self):
         if self.policy_name in ("FT w/ NVMe", "nvme", "elastic", "replicated", "FT w/ NVMe (replicated)"):
-            return HashRing(nodes=sorted(self.servers), vnodes_per_node=self.vnodes_per_node)
+            return HashRing(
+                nodes=sorted(self.servers),
+                vnodes_per_node=self.vnodes_per_node,
+                weights=self.node_weights or None,
+                probes=self.ring_probes,
+            )
         return StaticHash(nodes=sorted(self.servers))
 
     def make_policy(self) -> FaultPolicy:
@@ -130,6 +150,8 @@ class LocalCluster:
     def kill_server(self, node_id: int, mode: str = "hang") -> None:
         """The DRAIN analogue: the server stops answering."""
         self.servers[node_id].kill(mode=mode)
+        self.membership.mark_failed(node_id)
+        self.ring_epoch.advance()
 
     def restart_server(
         self, node_id: int, notify_clients: bool = True, same_address: bool = False
@@ -160,10 +182,106 @@ class LocalCluster:
         else:
             fresh = self._spawn_server(node_id, nvme)
         self.servers[node_id] = fresh
+        self.membership.ensure_active(node_id)
+        self.ring_epoch.advance()
         if notify_clients:
             for c in self._clients:
                 c.admit_node(node_id, fresh.address)
         return fresh
+
+    # -- elastic scale-out ------------------------------------------------------------
+    def join_server(
+        self,
+        weight: float = 1.0,
+        nvme_capacity_bytes: Optional[int] = None,
+        throttle_fraction: float = 0.75,
+    ) -> JoinReport:
+        """Live-join a brand-new server: plan → warm → cutover, zero client
+        errors (see :mod:`repro.rebalance`).
+
+        Spawns a fresh server on a new node id, computes the exact
+        moved-key plan against the current ring, backfills those keys into
+        the new node via its bounded data mover (reading from current
+        owners, falling back to the PFS), and only then flips the node
+        into membership and every existing client's placement under a new
+        ring epoch.  Until cutover, no placement anywhere can route to the
+        node; after cutover, its cache already holds the moved keys.
+
+        ``weight`` is the node's relative capacity: it receives
+        ``weight / total_weight`` of the keyspace (weighted vnodes).
+        Returns the :class:`~repro.rebalance.JoinReport`; raises
+        :class:`~repro.rebalance.JoinAborted` (after shutting the spawned
+        server down) if the warmup cannot complete.
+        """
+        node_id = max(self.servers) + 1
+        nvme = NVMeDir(
+            self.workdir / f"nvme{node_id}",
+            capacity_bytes=nvme_capacity_bytes
+            if nvme_capacity_bytes is not None
+            else self.nvme_capacity_bytes,
+        )
+        fresh = self._spawn_server(node_id, nvme)
+        try:
+            reference_ring = HashRing(
+                nodes=sorted(self.servers),
+                vnodes_per_node=self.vnodes_per_node,
+                weights=self.node_weights or None,
+                probes=self.ring_probes,
+            )
+            sizes = {
+                p: self.pfs.resolve(p).stat().st_size for p in self.paths if self.pfs.exists(p)
+            }
+            plan = RingDiff(reference_ring).plan_join(
+                node_id, self.paths, weight=weight, sizes=sizes,
+                planned_epoch=self.ring_epoch.value,
+            )
+
+            # Dedicated control-plane client: explicit-node RPCs only, its
+            # placement policy is never consulted (and must not be — the
+            # joining node is deliberately absent from every placement here).
+            control = FTCacheClient(
+                servers={i: s.address for i, s in self.servers.items()},
+                policy=make_policy("pfs", StaticHash(nodes=sorted(self.servers))),
+                pfs=self.pfs,
+                ttl=self.ttl,
+                timeout_threshold=self.timeout_threshold,
+            )
+        except Exception:
+            fresh.close()  # never leak a server thread on a failed plan
+            raise
+        control.register_address(node_id, fresh.address)
+
+        def cutover() -> int:
+            # Ordering is the invariant (see DESIGN.md): membership first —
+            # its version bump + subscriber notifications observe pre-join
+            # routing — then the cluster's own books, then each client's
+            # placement via the admit_node epoch machinery.
+            self.membership.ensure_active(node_id)
+            self.servers[node_id] = fresh
+            if weight != 1.0:
+                self.node_weights[node_id] = float(weight)
+            for c in self._clients:
+                c.admit_node(node_id, fresh.address, weight=weight)
+            return self.ring_epoch.advance()
+
+        def rollback() -> None:
+            fresh.close()
+
+        coordinator = JoinCoordinator(
+            plan=plan,
+            control=control,
+            pfs=self.pfs,
+            cutover=cutover,
+            rollback=rollback,
+            queue_depth=self.mover_queue_depth,
+            throttle_fraction=throttle_fraction,
+        )
+        try:
+            report = coordinator.run()
+        finally:
+            control.close()
+            self.join_reports.append(coordinator.report)
+        return report
 
     @property
     def alive_servers(self) -> list[int]:

@@ -15,13 +15,28 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["Message", "send_message", "recv_message", "ProtocolError", "OP_READ", "OP_PING", "OP_STAT", "OP_PUT"]
+__all__ = [
+    "Message",
+    "send_message",
+    "recv_message",
+    "ProtocolError",
+    "OP_READ",
+    "OP_PING",
+    "OP_STAT",
+    "OP_PUT",
+    "OP_JOIN_PLAN",
+    "OP_TRANSFER",
+]
 
 OP_READ = "READ"
 OP_PING = "PING"
 OP_STAT = "STAT"
 #: replica push: install payload bytes under a path (replication extension)
 OP_PUT = "PUT"
+#: announce an impending join's move plan to the joining node (rebalance)
+OP_JOIN_PLAN = "JOIN_PLAN"
+#: backfill one moved key into a joining node's bounded mover (rebalance)
+OP_TRANSFER = "TRANSFER"
 
 STATUS_OK = "OK"
 STATUS_ERROR = "ERROR"

@@ -32,7 +32,17 @@ from typing import Optional
 from functools import partial
 
 from ..analysis import lockwitness
-from .protocol import OP_PING, OP_PUT, OP_READ, OP_STAT, Message, recv_message, send_message
+from .protocol import (
+    OP_JOIN_PLAN,
+    OP_PING,
+    OP_PUT,
+    OP_READ,
+    OP_STAT,
+    OP_TRANSFER,
+    Message,
+    recv_message,
+    send_message,
+)
 from .storage import NVMeDir, PFSDir
 
 __all__ = ["FTCacheServer", "ServerStats", "DataMoverPool"]
@@ -49,6 +59,9 @@ STAT_COUNTER_KEYS = (
     "mover_enqueued",
     "mover_coalesced",
     "mover_dropped",
+    "join_plans",
+    "transfers_in",
+    "transfer_bytes",
 )
 
 
@@ -66,6 +79,11 @@ class ServerStats:
     mover_enqueued: int = 0
     mover_coalesced: int = 0
     mover_dropped: int = 0
+    #: elastic-join warmup accounting (repro.rebalance): plans announced
+    #: to this node, transfer requests its mover accepted, and their bytes
+    join_plans: int = 0
+    transfers_in: int = 0
+    transfer_bytes: int = 0
     _lock: threading.Lock = field(
         default_factory=partial(lockwitness.named_lock, "server-stats"), repr=False
     )
@@ -251,6 +269,10 @@ class FTCacheServer:
         self._conns: set[socket.socket] = set()
         self._conns_lock = lockwitness.named_lock("server-conns")
         self._alive = False
+        #: last OP_JOIN_PLAN announcement (None until this node is the
+        #: target of an elastic join); single dict assignment, read-only
+        #: for observers, so no lock is needed
+        self.join_plan: Optional[dict] = None
 
     # -- lifecycle -----------------------------------------------------------------
     @property
@@ -340,6 +362,14 @@ class FTCacheServer:
             return self._read(msg.header.get("path", ""))
         if msg.op == OP_PUT:
             return self._put(msg.header.get("path", ""), msg.payload)
+        if msg.op == OP_JOIN_PLAN:
+            return self._join_plan(
+                msg.header.get("planned_keys", 0),
+                msg.header.get("planned_bytes", 0),
+                msg.header.get("epoch", 0),
+            )
+        if msg.op == OP_TRANSFER:
+            return self._transfer(msg.header.get("path", ""), msg.payload)
         self.stats.bump(errors=1)
         return Message.error_response(f"unknown op {msg.op!r}")
 
@@ -363,6 +393,37 @@ class FTCacheServer:
         self.stats.bump(misses=1, pfs_reads=1)
         self.mover.submit(path, data)
         return Message.ok_response(payload=data, source="pfs")
+
+    def _join_plan(self, planned_keys: int, planned_bytes: int, epoch: int) -> Message:
+        """Record an impending join's move plan (this node is the joiner).
+
+        Purely informational — warmup arrives as OP_TRANSFERs — but it
+        doubles as the coordinator's liveness check and makes the plan
+        visible in this node's state for debugging an aborted join.
+        """
+        self.join_plan = {
+            "planned_keys": int(planned_keys),
+            "planned_bytes": int(planned_bytes),
+            "epoch": int(epoch),
+        }
+        self.stats.bump(join_plans=1)
+        return Message.ok_response(node_id=self.node_id, accepted_keys=int(planned_keys))
+
+    def _transfer(self, path: str, data: bytes) -> Message:
+        """Warmup backfill: hand one moved key to the bounded data mover.
+
+        The mover — not this handler — writes the NVMe entry, so transfer
+        ingest obeys the same queue depth / coalescing / drop-oldest
+        policy as miss recaching: a join cannot stampede this node.  The
+        reply reports the queue length so the coordinator can throttle.
+        """
+        if not path:
+            self.stats.bump(errors=1)
+            return Message.error_response("missing path")
+        accepted = self.mover.submit(path, data)
+        if accepted:
+            self.stats.bump(transfers_in=1, transfer_bytes=len(data))
+        return Message.ok_response(accepted=accepted, queue_len=self.mover.queue_len)
 
     def _put(self, path: str, data: bytes) -> Message:
         """Replica push (replication extension): install an entry directly."""

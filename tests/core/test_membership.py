@@ -54,6 +54,24 @@ class TestMembershipView:
         with pytest.raises(ValueError):
             m.admit(7)
 
+    def test_ensure_active_admits_unknown_node(self):
+        m = MembershipView(range(2))
+        v0 = m.version
+        m.ensure_active(5)
+        assert m.is_active(5) and m.version == v0 + 1
+
+    def test_ensure_active_reactivates_failed_node(self):
+        m = MembershipView(range(2))
+        m.mark_failed(1)
+        m.ensure_active(1)
+        assert m.is_active(1)
+
+    def test_ensure_active_idempotent_on_active_node(self):
+        m = MembershipView(range(2))
+        v0 = m.version
+        m.ensure_active(0)  # already active: no transition, no bump
+        assert m.version == v0
+
     def test_contains_and_len(self):
         m = MembershipView(range(3))
         assert 2 in m and 5 not in m and len(m) == 3

@@ -1,0 +1,102 @@
+"""Join-under-traffic scenario tests (the loadgen side of the tentpole).
+
+A scheduled ``join`` ChaosEvent fires mid-phase while the driver hammers
+the cluster; the run must finish with zero client-visible errors and the
+BENCH artifact must carry the schema-v3 ``rebalance`` block.
+"""
+
+import json
+
+import pytest
+
+from repro.loadgen.__main__ import build_scenario, make_parser
+from repro.loadgen.drivers import DriverConfig
+from repro.loadgen.scenario import (
+    BENCH_SCHEMA_VERSION,
+    ChaosEvent,
+    PhaseSpec,
+    Scenario,
+)
+from repro.loadgen.workload import Workload, WorkloadSpec
+from repro.runtime.cluster import LocalCluster
+
+
+class TestChaosEventValidation:
+    def test_join_action_accepted(self):
+        e = ChaosEvent(at=0.5, action="join", weight=2.0)
+        assert e.action == "join" and e.weight == 2.0
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(at=0.0, action="drain")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(at=0.0, action="join", weight=0.0)
+
+
+class TestJoinUnderTraffic:
+    def test_join_scenario_zero_errors_and_v3_artifact(self, tmp_path):
+        spec = WorkloadSpec(n_files=48, file_bytes=1024, distribution="zipf", seed=7)
+        phases = [
+            PhaseSpec(
+                name="join-chaos",
+                duration=1.5,
+                driver=DriverConfig(mode="closed", workers=3),
+                chaos=(ChaosEvent(at=0.3, action="join", weight=1.5),),
+            )
+        ]
+        with LocalCluster(
+            n_servers=3, workdir=tmp_path, policy="elastic", ttl=0.5
+        ) as cluster:
+            scenario = Scenario(cluster, Workload(spec), phases)
+            report = scenario.run()
+
+        d = report.to_dict()
+        assert d["schema_version"] == BENCH_SCHEMA_VERSION == 3
+        assert d["totals"]["errors"] == 0, d["totals"]
+        # the join fired and is recorded both as a chaos action...
+        actions = d["phases"][0]["chaos"]
+        assert any(a["action"] == "join" for a in actions)
+        # ...and in the rebalance block with its full report
+        reb = d["rebalance"]
+        join = reb["joins"][0]
+        assert join["state"] == "SERVING"
+        assert join["warmed_keys"] + join.get("missing_keys", 0) == join["plan"]["moved_keys"]
+        assert reb["ring_epoch"] >= 1 and reb["membership_version"] >= 1
+        # join/transfer counters surface in deltas and snapshots
+        assert "transfers_in" in d["phases"][0]["server_delta"]
+        assert d["servers"][join["node"]]["transfers_in"] == join["warmed_keys"]
+        assert d["client_stats"]["timeouts"] == 0
+
+        path = tmp_path / "bench.json"
+        report.write_json(path)
+        assert json.loads(path.read_text())["rebalance"]["joins"]
+
+    def test_no_join_leaves_rebalance_block_empty(self, tmp_path):
+        spec = WorkloadSpec(n_files=16, file_bytes=512, seed=7)
+        phases = [PhaseSpec(name="steady", duration=0.4, driver=DriverConfig(workers=2))]
+        with LocalCluster(n_servers=2, workdir=tmp_path, policy="elastic", ttl=0.5) as cluster:
+            report = Scenario(cluster, Workload(spec), phases).run()
+        assert report.to_dict()["rebalance"] == {}
+
+
+class TestCLIWiring:
+    def test_join_flags_build_a_join_event(self, tmp_path):
+        args = make_parser().parse_args(
+            ["--chaos", "2", "--no-kill", "--join-at", "0.5", "--join-weight", "2.5"]
+        )
+        with LocalCluster(n_servers=2, workdir=tmp_path, policy="elastic") as cluster:
+            scenario = build_scenario(cluster, args)
+        chaos_phase = [s for s in scenario.phases if s.name == "chaos"][0]
+        assert len(chaos_phase.chaos) == 1
+        event = chaos_phase.chaos[0]
+        assert event.action == "join" and event.at == 0.5 and event.weight == 2.5
+        assert scenario.extra_config["join_at"] == 0.5
+
+    def test_join_composes_with_kill(self, tmp_path):
+        args = make_parser().parse_args(["--chaos", "2", "--join-at", "1.5"])
+        with LocalCluster(n_servers=2, workdir=tmp_path, policy="elastic") as cluster:
+            scenario = build_scenario(cluster, args)
+        actions = [e.action for e in scenario.phases[-1].chaos]
+        assert actions == ["kill", "restart", "join"]

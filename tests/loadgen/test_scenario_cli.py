@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.loadgen import (
+    BENCH_SCHEMA_VERSION,
     ChaosEvent,
     DriverConfig,
     PhaseSpec,
@@ -118,7 +119,7 @@ class TestScenarioRun:
             ).run()
             out = report.write_json(tmp_path / "BENCH_loadgen.json")
         data = json.loads(out.read_text())
-        assert data["bench"] == "loadgen" and data["schema_version"] == 2
+        assert data["bench"] == "loadgen" and data["schema_version"] == BENCH_SCHEMA_VERSION
         assert data["config"]["workload"]["n_files"] == 4
         assert data["totals"]["ops"] == data["phases"][0]["ops"]
         assert data["phases"][0]["latency"]["count"] == data["phases"][0]["ops"]

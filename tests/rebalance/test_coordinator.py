@@ -1,0 +1,220 @@
+"""Unit tests for the JoinCoordinator state machine (fakes, no sockets).
+
+Pins the transition discipline (PLANNED → WARMING → SERVING, abort from
+anywhere pre-cutover), the warmup data paths (owner cache → owner PFS →
+coordinator PFS fallback), the throttle loop, and the rollback contract.
+"""
+
+import pytest
+
+from repro.rebalance import JoinAborted, JoinCoordinator, JoinState, RingDiff
+from repro.rebalance.ringdiff import MovePlan
+from repro.runtime.client import ReadError
+
+
+def make_plan(moves, node=9):
+    return MovePlan(
+        node=node,
+        weight=1.0,
+        moves=tuple(moves),
+        total_keys=max(len(moves), 1),
+        total_bytes=0,
+        predicted_fraction=len(moves) / max(len(moves), 1),
+        theoretical_fraction=0.25,
+        planned_epoch=4,
+    )
+
+
+class FakeControl:
+    """Scriptable stand-in for FTCacheClient's explicit-node RPC surface."""
+
+    def __init__(
+        self,
+        ack_plan=True,
+        reads=None,
+        transfer_ok=True,
+        queue_lens=None,
+        stat_queue_lens=None,
+    ):
+        self.ack_plan = ack_plan
+        self.reads = reads or {}  # path -> (data, source) | None | ReadError
+        self.transfer_ok = transfer_ok
+        self.queue_lens = list(queue_lens or [])
+        self.stat_queue_lens = list(stat_queue_lens or [])
+        self.transfers = []
+        self.plan_calls = []
+
+    def join_plan(self, node, planned_keys, planned_bytes, epoch):
+        self.plan_calls.append((node, planned_keys, planned_bytes, epoch))
+        return self.ack_plan
+
+    def read_from(self, node, path):
+        outcome = self.reads.get(path, (b"x" * 8, "cache"))
+        if outcome is ReadError:
+            raise ReadError(path)
+        return outcome
+
+    def transfer(self, node, path, data):
+        if self.transfer_ok is None:
+            return None  # unreachable
+        self.transfers.append((node, path, data))
+        q = self.queue_lens.pop(0) if self.queue_lens else 0
+        return {"accepted": bool(self.transfer_ok), "queue_len": q}
+
+    def server_stat(self, node):
+        if not self.stat_queue_lens:
+            return None
+        return {"mover_queue_len": self.stat_queue_lens.pop(0)}
+
+
+class FakePFS:
+    def __init__(self, files=None):
+        self.files = files or {}
+        self.reads = []
+
+    def read(self, path):
+        self.reads.append(path)
+        try:
+            return self.files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+
+def make_coord(plan, control, pfs=None, **kw):
+    events = []
+    coord = JoinCoordinator(
+        plan=plan,
+        control=control,
+        pfs=pfs if pfs is not None else FakePFS(),
+        cutover=lambda: events.append("cutover") or 5,
+        rollback=lambda: events.append("rollback"),
+        queue_depth=kw.pop("queue_depth", 8),
+        **kw,
+    )
+    return coord, events
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        plan = make_plan([("/a", 0), ("/b", 1)])
+        control = FakeControl()
+        coord, events = make_coord(plan, control)
+        assert coord.state is JoinState.PLANNED
+        report = coord.run()
+        assert coord.state is JoinState.SERVING
+        assert events == ["cutover"]
+        assert report.warmed_keys == 2
+        assert report.cutover_epoch == 5 and report.planned_epoch == 4
+        assert control.plan_calls == [(9, 2, 0, 4)]
+        assert [p for _, p, _ in control.transfers] == ["/a", "/b"]
+
+    def test_unacknowledged_plan_aborts_before_any_transfer(self):
+        plan = make_plan([("/a", 0)])
+        control = FakeControl(ack_plan=False)
+        coord, events = make_coord(plan, control)
+        with pytest.raises(JoinAborted):
+            coord.run()
+        assert coord.state is JoinState.ABORTED
+        assert events == ["rollback"]
+        assert control.transfers == []
+
+    def test_unreachable_during_warmup_aborts_and_rolls_back(self):
+        plan = make_plan([("/a", 0)])
+        control = FakeControl(transfer_ok=None)
+        coord, events = make_coord(plan, control)
+        with pytest.raises(JoinAborted):
+            coord.run()
+        assert coord.state is JoinState.ABORTED
+        assert events == ["rollback"]
+        assert coord.report.abort_reason
+
+    def test_no_transitions_out_of_terminal_states(self):
+        plan = make_plan([])
+        coord, _ = make_coord(plan, FakeControl())
+        coord.run()
+        with pytest.raises(RuntimeError):
+            coord._transition(JoinState.WARMING)
+
+
+class TestWarmupDataPaths:
+    def test_source_accounting(self):
+        plan = make_plan([("/cache", 0), ("/srv-pfs", 1), ("/fallback", 2)])
+        control = FakeControl(
+            reads={
+                "/cache": (b"c", "cache"),
+                "/srv-pfs": (b"p", "pfs"),
+                "/fallback": None,  # owner timed out: coordinator goes to PFS
+            }
+        )
+        pfs = FakePFS(files={"/fallback": b"f"})
+        coord, _ = make_coord(plan, control, pfs=pfs)
+        report = coord.run()
+        assert report.source_cache_reads == 1
+        assert report.source_pfs_reads == 1
+        assert report.pfs_fallback_reads == 1
+        assert report.warmed_keys == 3
+        assert pfs.reads == ["/fallback"]
+
+    def test_vanished_key_is_skipped_not_fatal(self):
+        plan = make_plan([("/gone", 0), ("/ok", 1)])
+        control = FakeControl(reads={"/gone": ReadError, "/ok": (b"k", "cache")})
+        coord, _ = make_coord(plan, control, pfs=FakePFS())
+        report = coord.run()
+        assert report.warmed_keys == 1
+        assert report.extras["missing_keys"] == 1
+        assert coord.state is JoinState.SERVING
+
+    def test_rejected_transfer_counted(self):
+        plan = make_plan([("/a", 0)])
+        control = FakeControl(transfer_ok=False)
+        coord, _ = make_coord(plan, control)
+        report = coord.run()
+        assert report.transfers_rejected == 1 and report.warmed_keys == 0
+
+
+class TestThrottle:
+    def test_pauses_until_queue_drains(self):
+        plan = make_plan([("/a", 0)])
+        # transfer reply reports a full queue; two stats polls later it drains
+        control = FakeControl(queue_lens=[8], stat_queue_lens=[8, 0])
+        coord, _ = make_coord(plan, control, throttle_sleep=0.001)
+        report = coord.run()
+        assert report.throttle_pauses == 2
+
+    def test_no_pause_below_watermark(self):
+        plan = make_plan([("/a", 0), ("/b", 1)])
+        control = FakeControl(queue_lens=[1, 2])
+        coord, _ = make_coord(plan, control)
+        report = coord.run()
+        assert report.throttle_pauses == 0
+
+    def test_stat_timeout_breaks_the_loop(self):
+        plan = make_plan([("/a", 0)])
+        control = FakeControl(queue_lens=[8], stat_queue_lens=[])  # stat → None
+        coord, _ = make_coord(plan, control, throttle_sleep=0.001)
+        report = coord.run()
+        assert report.throttle_pauses == 1
+        assert coord.state is JoinState.SERVING
+
+
+class TestValidation:
+    def test_bad_params(self):
+        plan = make_plan([])
+        with pytest.raises(ValueError):
+            JoinCoordinator(plan, FakeControl(), FakePFS(), cutover=lambda: 1, queue_depth=0)
+        with pytest.raises(ValueError):
+            JoinCoordinator(
+                plan, FakeControl(), FakePFS(), cutover=lambda: 1, throttle_fraction=0.0
+            )
+
+    def test_ringdiff_integration_smoke(self):
+        """Coordinator consumes a real plan object end-to-end."""
+        from repro.core import HashRing
+
+        ring = HashRing(nodes=range(3), vnodes_per_node=50)
+        keys = [f"/k{i}" for i in range(200)]
+        plan = RingDiff(ring).plan_join(3, keys)
+        control = FakeControl()
+        coord, _ = make_coord(plan, control)
+        report = coord.run()
+        assert report.warmed_keys == plan.moved_keys == len(control.transfers)

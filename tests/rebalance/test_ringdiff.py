@@ -1,0 +1,117 @@
+"""Property-based tests for the RingDiff join planner.
+
+The plan is the contract everything downstream (warmup, cutover, bench
+assertions) relies on, so its invariants are pinned over random ring
+states and joins:
+
+* only keys whose *primary owner changes* appear in the plan, and every
+  such key's new owner is the candidate (minimal movement, per-join);
+* the moved fraction converges to ``weight / total_weight``;
+* remove-then-readd yields an empty diff (planning is the exact inverse
+  of removal for an unchanged ring).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HashRing, bulk_hash64
+from repro.rebalance import RingDiff
+
+KEYS = [f"/data/train/sample_{i:06d}.bin" for i in range(4000)]
+HASHES = bulk_hash64(KEYS)
+
+
+def _ring(n_nodes, vnodes=60, weights=None, probes=1):
+    return HashRing(
+        nodes=range(n_nodes), vnodes_per_node=vnodes, weights=weights, probes=probes
+    )
+
+
+class TestPlanInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=1, max_value=8),
+        weight=st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+        probes=st.sampled_from([1, 3]),
+    )
+    def test_only_owner_changed_keys_in_plan(self, n_nodes, weight, probes):
+        ring = _ring(n_nodes, probes=probes)
+        candidate = n_nodes  # first free id
+        plan = RingDiff(ring).plan_join(candidate, KEYS, weight=weight)
+        before = ring.lookup_hashes(HASHES)
+        after = ring.lookup_hashes_including(HASHES, candidate, weight=weight)
+        changed = {KEYS[i] for i in (before != after).nonzero()[0]}
+        assert {path for path, _ in plan.moves} == changed
+        # every move records the key's *current* owner and targets the candidate
+        for i in (before != after).nonzero()[0]:
+            assert after[i] == candidate
+        by_key = dict(plan.moves)
+        for i in (before != after).nonzero()[0]:
+            assert by_key[KEYS[i]] == before[i]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=6),
+        weight=st.floats(min_value=0.5, max_value=3.0, allow_nan=False),
+    )
+    def test_moved_fraction_tracks_weight(self, n_nodes, weight):
+        ring = _ring(n_nodes, vnodes=150)
+        plan = RingDiff(ring).plan_join(n_nodes, KEYS, weight=weight)
+        theoretical = weight / (n_nodes + weight)
+        assert plan.theoretical_fraction == pytest.approx(theoretical)
+        # 150 vnodes over 4000 keys: generous but non-vacuous tolerance
+        assert plan.predicted_fraction == pytest.approx(theoretical, rel=0.35)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=8),
+        victim=st.integers(min_value=0, max_value=7),
+        probes=st.sampled_from([1, 3]),
+    )
+    def test_remove_then_readd_is_empty_diff(self, n_nodes, victim, probes):
+        victim = victim % n_nodes
+        original = _ring(n_nodes, probes=probes)
+        ring = original.clone()
+        ring.remove_node(victim)
+        # readding the victim steals back exactly the keys it owned before,
+        # i.e. the post-readd ring is an *empty diff* against the original
+        plan = RingDiff(ring).plan_join(victim, KEYS)
+        originally_owned = {
+            KEYS[i] for i in (original.lookup_hashes(HASHES) == victim).nonzero()[0]
+        }
+        assert {path for path, _ in plan.moves} == originally_owned
+        readd = ring.clone()
+        readd.add_node(victim)
+        assert (readd.lookup_hashes(HASHES) == original.lookup_hashes(HASHES)).all()
+
+
+class TestPlanBookkeeping:
+    def test_per_source_counts_sum_to_moves(self):
+        ring = _ring(4)
+        sizes = {k: 100 + i for i, k in enumerate(KEYS)}
+        plan = RingDiff(ring).plan_join(4, KEYS, weight=2.0, sizes=sizes)
+        assert sum(plan.keys_by_source.values()) == plan.moved_keys == len(plan.moves)
+        assert plan.moved_bytes == sum(sizes[p] for p, _ in plan.moves)
+        assert plan.total_bytes == sum(sizes.values())
+        d = plan.to_dict()
+        assert d["moved_keys"] == plan.moved_keys
+        assert d["theoretical_fraction"] == pytest.approx(2.0 / 6.0)
+
+    def test_snapshot_isolation(self):
+        """Planning must not observe later mutations of the live ring."""
+        ring = _ring(3)
+        diff = RingDiff(ring)
+        ring.remove_node(0)  # live ring changes after the snapshot
+        plan = diff.plan_join(7, KEYS)
+        assert plan.theoretical_fraction == pytest.approx(1.0 / 4.0)
+
+    def test_rejects_existing_node(self):
+        with pytest.raises(ValueError):
+            RingDiff(_ring(3)).plan_join(1, KEYS)
+
+    def test_empty_keyspace(self):
+        plan = RingDiff(_ring(3)).plan_join(3, [], weight=1.0)
+        assert plan.moves == () and plan.predicted_fraction == 0.0
+        assert plan.theoretical_fraction == pytest.approx(0.25)
