@@ -77,10 +77,17 @@ def _default_project_rules() -> tuple:
     # late imports: the project rules import the callgraph/rules modules
     from .interproc import TransitiveBlockingRule
     from .lockgraph import LockOrderRule
+    from .registry import CounterRegistryProjectRule
     from .resources import ResourceLeakRule
     from .rpccheck import RpcConformanceRule
 
-    return (TransitiveBlockingRule, RpcConformanceRule, ResourceLeakRule, LockOrderRule)
+    return (
+        TransitiveBlockingRule,
+        RpcConformanceRule,
+        ResourceLeakRule,
+        LockOrderRule,
+        CounterRegistryProjectRule,
+    )
 
 
 def ALL_PROJECT_RULES() -> tuple:

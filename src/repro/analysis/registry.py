@@ -14,18 +14,25 @@ the convention load-bearing: in any module that *defines* a
 * when there is no stats class, every registered counter must be bumped
   somewhere in the module (a registry key nothing increments is dead
   weight in every snapshot).
+
+:class:`CounterRegistryProjectRule` extends the same contract across the
+tree: a ``bump`` in a ``repro`` module that defines *no* local registry
+must still name a counter registered *somewhere* in the project — a
+counter invented at a call site far from every registry is exactly the
+silent drift the convention exists to prevent (it would increment
+forever and appear in no snapshot, no STAT reply, no bench artifact).
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .findings import Finding
-from .visitor import ModuleContext, Rule
+from .visitor import ModuleContext, ProjectRule, Rule
 
-__all__ = ["CounterRegistryRule"]
+__all__ = ["CounterRegistryRule", "CounterRegistryProjectRule"]
 
 _REGISTRY_NAME_RE = re.compile(r"^[A-Z][A-Z0-9_]*_COUNTER_KEYS$")
 
@@ -133,3 +140,49 @@ class CounterRegistryRule(Rule):
                     f"registered counter '{key}' is never bumped in this module — "
                     f"dead registry keys hide real drift",
                 )
+
+
+class CounterRegistryProjectRule(ProjectRule):
+    """CNT001 at project scope: no counter may be bumped outside every
+    ``*_COUNTER_KEYS`` registry in the tree.
+
+    The module rule only sees files that define a registry; a bump added
+    to any *other* ``repro`` module would previously escape the check
+    entirely.  Here the union of every registry in the project is the
+    single source of truth, and a bump keyword in a registry-less module
+    must appear in it.
+    """
+
+    rules = (
+        ("CNT001", "counter bumped in a module outside every *_COUNTER_KEYS registry"),
+    )
+
+    def check_project(self, graph) -> Iterable[Finding]:
+        union: set[str] = set()
+        unregistered: list[ModuleContext] = []
+        for ctx in graph.contexts:
+            if not ctx.in_package("repro"):
+                continue
+            registries = _registry_assignments(ctx.tree)
+            if registries:
+                for _, keys in registries.values():
+                    union |= set(keys)
+            else:
+                unregistered.append(ctx)
+        if not union:
+            return
+        for ctx in unregistered:
+            for call, kwarg in _bump_kwargs(ctx.tree):
+                if kwarg not in union:
+                    yield Finding(
+                        rule="CNT001",
+                        path=ctx.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"bump of '{kwarg}' in a module with no counter "
+                            f"registry, and no *_COUNTER_KEYS tuple anywhere in "
+                            f"the project registers it — it would never appear "
+                            f"in any snapshot or bench artifact"
+                        ),
+                    )

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
+from ..obs import configure_logging
 from ..runtime.cluster import LocalCluster
 from .drivers import DriverConfig
 from .scenario import ChaosEvent, PhaseSpec, Scenario
@@ -105,6 +107,7 @@ def build_scenario(cluster: LocalCluster, args: argparse.Namespace) -> Scenario:
         "mover_queue_depth": args.mover_queue_depth,
         "join_at": args.join_at,
         "join_weight": args.join_weight,
+        "trace_sample_rate": args.trace_sample_rate,
         "seed": args.seed,
     }
     return Scenario(cluster, workload, phases, extra_config=cli_config)
@@ -155,6 +158,13 @@ def make_parser() -> argparse.ArgumentParser:
                         help="capacity weight of the joining server (weighted virtual nodes)")
     parser.add_argument("--monkey-interval", type=float, default=0.0,
                         help="use a random ChaosMonkey (mean seconds between events) instead of one scheduled kill")
+    parser.add_argument("--trace-sample-rate", type=float, default=0.0,
+                        help="fraction of client requests traced end-to-end (0 disables tracing)")
+    parser.add_argument("--obs-dir", default="",
+                        help="directory for span/event JSONL dumps ('' disables; implies tracing output)")
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="stdlib logging level for the repro hierarchy")
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument("--out", default="BENCH_loadgen.json", help="JSON artifact path ('' disables)")
     return parser
@@ -162,6 +172,7 @@ def make_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    configure_logging(args.log_level)
     with LocalCluster(
         n_servers=args.servers,
         policy=args.policy,
@@ -171,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
         nvme_capacity_bytes=args.capacity or None,
         mover_workers=args.mover_workers,
         mover_queue_depth=args.mover_queue_depth,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_seed=args.seed,
     ) as cluster:
         scenario = build_scenario(cluster, args)
         print(f"loadgen: {args.servers} servers, policy={args.policy}, "
@@ -178,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
               f"mode={args.mode}, seed={args.seed}")
         print(PHASE_HEADER)
         report = scenario.run(on_phase=lambda p: print(render_phase_line(p), flush=True))
+        obs_files = cluster.dump_obs(Path(args.obs_dir)) if args.obs_dir else []
     for phase in report.phases:
         for action in phase.chaos_actions:
             print(f"  chaos[{phase.name}] t={action['t']:.2f}s {action['action']} node {action['node']}")
@@ -192,6 +206,18 @@ def main(argv: list[str] | None = None) -> int:
             f"{join['throttle_pauses']} throttle pauses, "
             f"epoch {join['planned_epoch']}->{join['cutover_epoch']}"
         )
+    if report.obs:
+        cov = report.obs.get("coverage_p50")
+        exemplars = report.obs.get("slowest_read_traces", [])
+        print(f"  obs: {report.obs['spans']} spans / {report.obs['traces']} traces "
+              f"(sample rate {report.obs['trace_sample_rate']}), "
+              f"coverage p50 {'-' if cov is None else f'{cov:.3f}'}, "
+              f"{report.obs['spans_dropped']} dropped")
+        for ex in exemplars[:3]:
+            print(f"    slow trace {ex['trace_id']}: {ex['duration_s'] * 1e3:.2f} ms "
+                  f"via {' > '.join(ex['critical_path'])}")
+    for f in obs_files:
+        print(f"  obs dump {f}")
     totals = report.totals()
     print(f"totals: {totals['ops']} ops in {totals['duration_s']:.1f}s "
           f"({totals['throughput_ops_s']:.0f} ops/s), {totals['errors']} errors, {totals['shed']} shed")

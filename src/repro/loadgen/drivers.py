@@ -86,40 +86,61 @@ class DriverConfig:
 class HookRecorder:
     """``FTCacheClient.on_op`` callback: lock-free per-thread recording.
 
-    Each calling thread lazily gets its own (histogram, outcome-counter)
-    slot; :meth:`service_histogram` / :meth:`outcome_counts` merge the
-    slots after the run.
+    Each calling thread lazily gets its own (histogram, outcome-counter,
+    attribution-counter) slot; :meth:`service_histogram` /
+    :meth:`outcome_counts` / :meth:`node_counts` / :meth:`reconnects`
+    merge the slots after the run.  Attribution comes from the hook's
+    ``node_id``/``reconnects`` arguments: which node answered each op and
+    how many transparent pooled-socket reconnects the run needed.
     """
 
     def __init__(self) -> None:
         self._local = threading.local()
-        self._parts: list[tuple[LatencyHistogram, Counter]] = []
+        self._parts: list[tuple[LatencyHistogram, Counter, Counter]] = []
         self._lock = lockwitness.named_lock("loadgen-recorder")
 
-    def _slot(self) -> tuple[LatencyHistogram, Counter]:
+    def _slot(self) -> tuple[LatencyHistogram, Counter, Counter]:
         slot = getattr(self._local, "slot", None)
         if slot is None:
-            slot = (LatencyHistogram(), Counter())
+            slot = (LatencyHistogram(), Counter(), Counter())
             self._local.slot = slot
             with self._lock:
                 self._parts.append(slot)
         return slot
 
-    def __call__(self, op: str, path: str, seconds: float, outcome: str) -> None:
-        hist, counts = self._slot()
+    def __call__(self, op: str, path: str, seconds: float, outcome: str,
+                 node_id=None, reconnects: int = 0) -> None:
+        hist, counts, attrib = self._slot()
         hist.record(seconds)
         counts[f"{op}:{outcome}"] += 1
+        if node_id is not None:
+            attrib[f"node:{node_id}"] += 1
+        if reconnects:
+            attrib["reconnects"] += reconnects
 
     def service_histogram(self) -> LatencyHistogram:
         with self._lock:
-            return LatencyHistogram.merged([h for h, _ in self._parts])
+            return LatencyHistogram.merged([h for h, _, _ in self._parts])
 
     def outcome_counts(self) -> dict[str, int]:
         total: Counter = Counter()
         with self._lock:
-            for _, c in self._parts:
+            for _, c, _ in self._parts:
                 total.update(c)
         return dict(total)
+
+    def node_counts(self) -> dict[str, int]:
+        """``{"node:<id>": ops answered by that node}`` across all threads."""
+        total: Counter = Counter()
+        with self._lock:
+            for _, _, a in self._parts:
+                total.update(a)
+        return {k: v for k, v in total.items() if k.startswith("node:")}
+
+    def reconnects(self) -> int:
+        """Total transparent pooled-socket reconnects observed by the hook."""
+        with self._lock:
+            return sum(a.get("reconnects", 0) for _, _, a in self._parts)
 
 
 @dataclass
@@ -139,6 +160,10 @@ class DriverResult:
     service: LatencyHistogram = field(default_factory=LatencyHistogram)
     #: "read:cache" / "read:pfs" / "read:pfs_direct" / "write:ok" / ...
     outcomes: dict = field(default_factory=dict)
+    #: "node:<id>" → ops that node answered (from the on_op hook)
+    node_ops: dict = field(default_factory=dict)
+    #: transparent pooled-socket reconnects observed during the run
+    reconnects: int = 0
 
     @property
     def throughput(self) -> float:
@@ -157,6 +182,8 @@ class DriverResult:
             "shed": self.shed,
             "client_hit_rate": hits / reads if reads else None,
             "outcomes": dict(sorted(self.outcomes.items())),
+            "node_ops": dict(sorted(self.node_ops.items())),
+            "reconnects": self.reconnects,
             "latency": self.latency.to_dict() if self.latency.count else None,
             "service_latency": self.service.to_dict() if self.service.count else None,
         }
@@ -195,6 +222,8 @@ class _DriverBase:
         result.duration_s = time.monotonic() - t0
         result.service = recorder.service_histogram()
         result.outcomes = recorder.outcome_counts()
+        result.node_ops = recorder.node_counts()
+        result.reconnects = recorder.reconnects()
         return result
 
     def _drive(self, duration: float, stream: int) -> DriverResult:  # pragma: no cover

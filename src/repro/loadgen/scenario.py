@@ -29,6 +29,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from ..obs.analysis import (
+    build_traces,
+    coverage_quantile,
+    critical_path,
+    slowest_traces,
+    stage_breakdown,
+)
+from ..obs.events import get_event_log
 from ..runtime.chaos import ChaosMonkey
 from ..runtime.client import FTCacheClient
 from ..runtime.cluster import LocalCluster
@@ -48,7 +56,11 @@ __all__ = ["ChaosEvent", "PhaseSpec", "PhaseReport", "ScenarioReport", "Scenario
 #: join/transfer counters in per-phase deltas and server snapshots
 #: (join_plans, transfers_in, transfer_bytes), and client
 #: join_plans_sent / transfers_sent counters.
-BENCH_SCHEMA_VERSION = 3
+#: v4: observability — a top-level "obs" block (per-stage span breakdown,
+#: instrumentation coverage at p50, slowest-N exemplar trace ids, span/
+#: event loss accounting; empty dict when tracing was off), per-phase
+#: node_ops attribution and reconnects from the extended on_op hook.
+BENCH_SCHEMA_VERSION = 4
 
 _DELTA_KEYS = (
     "hits",
@@ -136,6 +148,9 @@ class ScenarioReport:
     #: elastic scale-out summary (schema v3): per-join plan/warmup reports,
     #: final ring epoch and membership version; empty dict when no joins ran
     rebalance: dict = field(default_factory=dict)
+    #: observability summary (schema v4): stage breakdown, coverage,
+    #: slowest-N exemplar trace ids; empty dict when tracing was off
+    obs: dict = field(default_factory=dict)
 
     def totals(self) -> dict:
         ops = sum(p.result.ops for p in self.phases)
@@ -158,6 +173,7 @@ class ScenarioReport:
             "client_stats": self.client_stats,
             "servers": self.server_snapshots,
             "rebalance": self.rebalance,
+            "obs": self.obs,
         }
 
     def write_json(self, path: str | Path) -> Path:
@@ -306,4 +322,50 @@ class Scenario:
             client_stats=dict(self.client.stats),
             server_snapshots=self.cluster.server_snapshots(),
             rebalance=rebalance,
+            obs=self._obs_block(),
         )
+
+    # -- observability (schema v4) ---------------------------------------------
+    def collect_spans(self) -> list[dict]:
+        """Every retained span across the run: driver client, all servers,
+        and the join-control clients (which write into the cluster-owned
+        buffer so warmup traces survive the short-lived control client)."""
+        spans = list(self.client.tracer.buffer.snapshot())
+        for server in self.cluster.servers.values():
+            spans.extend(server.tracer.buffer.snapshot())
+        spans.extend(self.cluster.control_spans.snapshot())
+        return spans
+
+    def _obs_block(self, slowest: int = 5) -> dict:
+        """The v4 ``obs`` block: stage breakdown, instrumentation coverage,
+        slowest-N exemplar read traces, and loss accounting.  Empty dict
+        when tracing was off — consumers key on presence, not nulls."""
+        spans = self.collect_spans()
+        if not spans:
+            return {}
+        traces = build_traces(spans)
+        exemplars = []
+        for root in slowest_traces(traces, n=slowest, root_name="client.read"):
+            exemplars.append(
+                {
+                    "trace_id": root.trace_id,
+                    "duration_s": root.duration,
+                    "nodes": sorted({str(n.node) for n in critical_path(root)}),
+                    "critical_path": [n.name for n in critical_path(root)],
+                }
+            )
+        dropped = self.client.tracer.buffer.counters()["spans_dropped"]
+        dropped += sum(
+            s.tracer.buffer.counters()["spans_dropped"]
+            for s in self.cluster.servers.values()
+        )
+        return {
+            "trace_sample_rate": self.cluster.trace_sample_rate,
+            "spans": len(spans),
+            "traces": len(traces),
+            "spans_dropped": dropped,
+            "stage_breakdown": stage_breakdown(spans),
+            "coverage_p50": coverage_quantile(traces, 0.5, root_name="client.read"),
+            "slowest_read_traces": exemplars,
+            "events": get_event_log().counters(),
+        }

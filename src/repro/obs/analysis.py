@@ -1,0 +1,206 @@
+"""Merge per-node span dumps into cross-node trace trees and summarise.
+
+Each process dumps its :class:`~repro.obs.spans.SpanBuffer` as JSONL —
+one span dict per line, no coordination.  This module is the read side:
+
+* :func:`load_span_files` — parse any number of dumps (files or dirs);
+* :func:`build_traces` — group by ``trace_id`` and stitch parent/child
+  edges into :class:`TraceNode` trees; spans whose parent is missing
+  (dropped by a ring, node never dumped) surface as extra roots rather
+  than disappearing — partial visibility beats false completeness;
+* :func:`stage_breakdown` — per-stage (span name) count/total/percentile
+  table, the "where did the time go" answer;
+* :func:`slowest_traces` / :func:`render_trace` — exemplar trees for the
+  tail, because p99 is a *specific request*, not an abstraction;
+* :func:`critical_path` — the chain of largest child spans from a root;
+* :func:`coverage` — fraction of a root span's duration accounted for by
+  its direct children (the instrumentation-completeness metric the bench
+  gate asserts ≥ 0.9 at p50).
+
+Durations come from each process's monotonic clock and are trustworthy;
+*cross-process ordering* uses wall clocks and is only as good as NTP —
+the renderer therefore never claims sub-millisecond cross-node ordering,
+it just sorts children by start time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "TraceNode",
+    "load_span_files",
+    "build_traces",
+    "stage_breakdown",
+    "slowest_traces",
+    "critical_path",
+    "coverage",
+    "coverage_quantile",
+    "render_trace",
+]
+
+
+@dataclass
+class TraceNode:
+    """One span plus its stitched children (a subtree of one trace)."""
+
+    span: dict
+    children: list["TraceNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.get("name", "?")
+
+    @property
+    def duration(self) -> float:
+        return float(self.span.get("duration_s", 0.0))
+
+    @property
+    def node(self):
+        return self.span.get("node")
+
+    @property
+    def trace_id(self) -> str:
+        return self.span.get("trace_id", "")
+
+
+def _iter_span_lines(path: Path) -> Iterable[dict]:
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(rec, dict) and "span_id" in rec and "trace_id" in rec:
+            yield rec
+
+
+def load_span_files(paths: Sequence[str | Path]) -> list[dict]:
+    """All span records from JSONL files (directories are globbed)."""
+    spans: list[dict] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.glob("*.jsonl")):
+                spans.extend(_iter_span_lines(f))
+        elif p.exists():
+            spans.extend(_iter_span_lines(p))
+    return spans
+
+
+def build_traces(spans: Iterable[dict]) -> dict[str, list[TraceNode]]:
+    """trace_id → roots (true roots first, then orphaned subtrees)."""
+    by_trace: dict[str, list[dict]] = {}
+    for s in spans:
+        by_trace.setdefault(s["trace_id"], []).append(s)
+    out: dict[str, list[TraceNode]] = {}
+    for trace_id, members in by_trace.items():
+        nodes = {s["span_id"]: TraceNode(span=s) for s in members}
+        roots: list[TraceNode] = []
+        orphans: list[TraceNode] = []
+        for node in nodes.values():
+            parent_id = node.span.get("parent_id")
+            if parent_id is None:
+                roots.append(node)
+            elif parent_id in nodes:
+                nodes[parent_id].children.append(node)
+            else:
+                orphans.append(node)  # parent dropped/undumped: keep visible
+        for node in nodes.values():
+            node.children.sort(key=lambda n: n.span.get("t_wall", 0.0))
+        roots.sort(key=lambda n: n.span.get("t_wall", 0.0))
+        out[trace_id] = roots + sorted(orphans, key=lambda n: n.span.get("t_wall", 0.0))
+    return out
+
+
+def _quantile(sorted_vals: list[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, int(round(q * (len(sorted_vals) - 1)))))
+    return sorted_vals[idx]
+
+
+def stage_breakdown(spans: Iterable[dict]) -> dict[str, dict]:
+    """Per span-name summary: count, total/mean/p50/p99/max seconds."""
+    by_name: dict[str, list[float]] = {}
+    for s in spans:
+        by_name.setdefault(s.get("name", "?"), []).append(float(s.get("duration_s", 0.0)))
+    out: dict[str, dict] = {}
+    for name, durs in sorted(by_name.items()):
+        durs.sort()
+        total = sum(durs)
+        out[name] = {
+            "count": len(durs),
+            "total_s": total,
+            "mean_s": total / len(durs),
+            "p50_s": _quantile(durs, 0.50),
+            "p99_s": _quantile(durs, 0.99),
+            "max_s": durs[-1],
+        }
+    return out
+
+
+def slowest_traces(
+    traces: dict[str, list[TraceNode]], n: int = 3, root_name: Optional[str] = None
+) -> list[TraceNode]:
+    """The ``n`` slowest true roots (optionally only roots named ``root_name``)."""
+    roots = [
+        r
+        for members in traces.values()
+        for r in members
+        if r.span.get("parent_id") is None and (root_name is None or r.name == root_name)
+    ]
+    roots.sort(key=lambda r: r.duration, reverse=True)
+    return roots[:n]
+
+
+def critical_path(root: TraceNode) -> list[TraceNode]:
+    """Root → ... following the largest child at each level."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda c: c.duration)
+        path.append(node)
+    return path
+
+
+def coverage(root: TraceNode) -> float:
+    """Fraction of the root's duration its direct children account for."""
+    if root.duration <= 0.0:
+        return 1.0 if not root.children else 0.0
+    return sum(c.duration for c in root.children) / root.duration
+
+
+def coverage_quantile(
+    traces: dict[str, list[TraceNode]], q: float = 0.5, root_name: Optional[str] = None
+) -> Optional[float]:
+    """Quantile of per-trace coverage over true roots (None without data)."""
+    vals = sorted(
+        coverage(r)
+        for members in traces.values()
+        for r in members
+        if r.span.get("parent_id") is None and (root_name is None or r.name == root_name)
+    )
+    return _quantile(vals, q) if vals else None
+
+
+def render_trace(root: TraceNode) -> list[str]:
+    """ASCII tree of one trace: name, owning node, duration, status."""
+    lines = [f"trace {root.trace_id}  ({root.duration * 1e3:.2f} ms)"]
+
+    def _walk(node: TraceNode, depth: int) -> None:
+        status = "" if node.span.get("status", "ok") == "ok" else f"  [{node.span.get('status')}]"
+        lines.append(
+            f"{'  ' * depth}- {node.name}  node={node.node}  "
+            f"{node.duration * 1e3:.3f} ms{status}"
+        )
+        for child in node.children:
+            _walk(child, depth + 1)
+
+    _walk(root, 1)
+    return lines

@@ -1,0 +1,99 @@
+"""Trace context: the three ids that stitch one request across processes.
+
+A trace is one top-level operation (a client ``read()``, a warmup key
+transfer); every timed stage within it is a span.  The context that
+travels on the wire is deliberately tiny — two header fields:
+
+``trace_id``
+    16 hex chars naming the whole end-to-end request.
+``span_id``
+    8 hex chars naming the *sender's* span; the receiver parents its own
+    spans under it, which is what makes the merged tree cross-process.
+
+:func:`inject` / :func:`extract` are the only places header field names
+appear, so client and server cannot drift.  Extraction is tolerant by
+design: a request without trace fields (tracing disabled, old client)
+extracts to ``None`` and costs two dict lookups.
+
+The active trace id is also mirrored into a :mod:`contextvars` variable
+so the logging formatter (:mod:`~repro.obs.logsetup`) can stamp log lines
+with the trace they belong to.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "inject",
+    "extract",
+    "current_trace_id",
+    "set_current_trace_id",
+]
+
+#: header field names — the whole wire contract of tracing
+TRACE_ID_FIELD = "trace_id"
+SPAN_ID_FIELD = "span_id"
+
+_current_trace_id: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """16 hex chars; collision-free for any realistic span volume."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """8 hex chars; unique within one trace."""
+    return os.urandom(4).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One point in a trace: *this* span's identity plus its parent's."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child(self) -> "TraceContext":
+        """A fresh context parented under this one (same trace)."""
+        return TraceContext(trace_id=self.trace_id, span_id=new_span_id(), parent_id=self.span_id)
+
+    @staticmethod
+    def root() -> "TraceContext":
+        return TraceContext(trace_id=new_trace_id(), span_id=new_span_id(), parent_id=None)
+
+
+def inject(header: dict, ctx: TraceContext) -> dict:
+    """Stamp ``ctx`` into an RPC header (mutates and returns ``header``)."""
+    header[TRACE_ID_FIELD] = ctx.trace_id
+    header[SPAN_ID_FIELD] = ctx.span_id
+    return header
+
+
+def extract(header: dict) -> Optional[TraceContext]:
+    """The sender's context from an RPC header, or None when untraced."""
+    trace_id = header.get(TRACE_ID_FIELD)
+    span_id = header.get(SPAN_ID_FIELD)
+    if not isinstance(trace_id, str) or not isinstance(span_id, str):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the span active on this thread/context, if any."""
+    return _current_trace_id.get()
+
+
+def set_current_trace_id(trace_id: Optional[str]) -> contextvars.Token:
+    """Mirror the active trace id for log correlation; returns the reset token."""
+    return _current_trace_id.set(trace_id)

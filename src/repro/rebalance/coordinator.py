@@ -33,11 +33,13 @@ it is never held across socket I/O, PFS reads, or throttle sleeps.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import time
 from typing import Callable, Optional
 
 from ..analysis import lockwitness
+from ..obs.events import get_event_log
 from .ringdiff import MovePlan
 from .stats import JoinReport
 
@@ -131,8 +133,11 @@ class JoinCoordinator:
         with self._state_lock:
             if new not in _TRANSITIONS[self._state]:
                 raise RuntimeError(f"illegal join transition {self._state.name} → {new.name}")
-            self._state = new
+            old, self._state = self._state, new
         self.report.state = new.value
+        get_event_log().emit(
+            "join_state", node=self.plan.node, from_state=old.value, to_state=new.value
+        )
 
     # -- phases -----------------------------------------------------------------
     def run(self) -> JoinReport:
@@ -187,13 +192,27 @@ class JoinCoordinator:
         self.report.pfs_fallback_reads += 1
         return data
 
+    def _trace_key(self, path: str, source) -> contextlib.AbstractContextManager:
+        """Per-key warmup trace via the control client's tracer; a control
+        object without ``trace_op`` (unit-test stubs) runs untraced."""
+        trace_op = getattr(self.control, "trace_op", None)
+        if trace_op is None:
+            return contextlib.nullcontext()
+        return trace_op("join.warm_key", path=path, source=source)
+
     def _warm(self) -> None:
         for path, source in self.plan.moves:
-            data = self._fetch(path, source)
-            if data is None:
-                self.report.extras["missing_keys"] = self.report.extras.get("missing_keys", 0) + 1
-                continue
-            resp = self.control.transfer(self.plan.node, path, data)
+            # One trace per moved key: the read_from + transfer pair (and
+            # their server-side stages on both the source and the joining
+            # node) stitch into a single cross-node warmup trace.
+            with self._trace_key(path, source):
+                data = self._fetch(path, source)
+                if data is None:
+                    self.report.extras["missing_keys"] = (
+                        self.report.extras.get("missing_keys", 0) + 1
+                    )
+                    continue
+                resp = self.control.transfer(self.plan.node, path, data)
             if resp is None:
                 raise RuntimeError(f"joining node unreachable during warmup ({path!r})")
             if not resp.get("accepted", False):

@@ -12,6 +12,7 @@ epochs, lifted to the whole placement.
 from __future__ import annotations
 
 from ..analysis import lockwitness
+from ..obs.events import get_event_log
 
 __all__ = ["RingEpoch"]
 
@@ -35,7 +36,9 @@ class RingEpoch:
         """Bump and return the new epoch (one per placement change)."""
         with self._lock:
             self._value += 1
-            return self._value
+            value = self._value
+        get_event_log().emit("ring_epoch", epoch=value)
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RingEpoch({self.value})"

@@ -27,6 +27,7 @@ import time
 
 from ..core.hash_ring import HashRing
 from ..core.fault_policy import make_policy
+from ..obs import configure_logging
 from .client import FTCacheClient
 from .protocol import OP_STAT, Message, recv_message, send_message
 from .server import FTCacheServer
@@ -148,6 +149,9 @@ def cmd_populate(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.runtime",
                                      description="FT-Cache threaded runtime tools")
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="stdlib logging level for the repro hierarchy (before the subcommand)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("serve", help="run one cache server")
@@ -189,6 +193,7 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_populate)
 
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     return args.fn(args)
 
 

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.events import get_event_log
 from .cluster import LocalCluster
 
 __all__ = ["ChaosMonkey", "ChaosAction"]
@@ -101,6 +102,7 @@ class ChaosMonkey:
 
     def _record(self, kind: str, node: int) -> None:
         self.actions.append(ChaosAction(t=time.monotonic() - self._t0, kind=kind, node_id=node))
+        get_event_log().emit("chaos", action=kind, node=node)
 
     # -- reporting -------------------------------------------------------------------
     @property

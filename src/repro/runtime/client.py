@@ -32,17 +32,21 @@ detector as false evidence.
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 import time
+from contextlib import contextmanager
 from typing import Callable, Hashable, Optional
 
 from ..analysis import lockwitness
 from ..core.failure_detector import TimeoutFailureDetector
 from ..core.fault_policy import FaultPolicy
 from ..core.replication import ReplicatedRecache
+from ..obs import Tracer, get_event_log, inject, node_logger
 from .protocol import (
     OP_JOIN_PLAN,
+    OP_OBS,
     OP_PING,
     OP_PUT,
     OP_READ,
@@ -99,6 +103,21 @@ class _ConnectionPool(threading.local):
         self.conns: dict[NodeId, _PooledConn] = {}
 
 
+class _OpContext(threading.local):
+    """Per-thread state of the top-level operation in flight.
+
+    ``span`` is the active root span (RPC spans parent to it and inject
+    its trace context on the wire); ``node_id``/``reconnects`` accumulate
+    attribution for the ``on_op`` hook: which node finally served the
+    request and how many transparent pooled-socket reconnects it took.
+    """
+
+    def __init__(self) -> None:
+        self.span = None
+        self.node_id: Optional[NodeId] = None
+        self.reconnects = 0
+
+
 class FTCacheClient:
     """Fault-tolerant cache client over TCP."""
 
@@ -110,17 +129,27 @@ class FTCacheClient:
         ttl: float = 1.0,
         timeout_threshold: int = 3,
         max_reroute_rounds: int = 32,
-        on_op: Optional[Callable[[str, str, float, str], None]] = None,
+        on_op: Optional[Callable[[str, str, float, str, Optional[NodeId], int], None]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         """``servers`` maps node id → ``(host, port)``.
 
-        ``on_op(op, path, seconds, outcome)`` — if given — is invoked after
-        every completed top-level operation with its wall-clock duration:
-        ``op`` is ``"read"``/``"write"``; ``outcome`` is the serving source
-        (``"cache"``/``"pfs"``/``"pfs_direct"``), ``"ok"`` for writes, or
-        ``"error"`` when the call raised.  The load generator uses this to
-        time requests end-to-end, including detection stalls and re-routes.
-        The callback runs on the calling thread and must be cheap.
+        ``on_op(op, path, seconds, outcome, node_id, reconnects)`` — if
+        given — is invoked after every completed top-level operation with
+        its wall-clock duration: ``op`` is ``"read"``/``"write"``;
+        ``outcome`` is the serving source (``"cache"``/``"pfs"``/
+        ``"pfs_direct"``), ``"ok"`` for writes, or ``"error"`` when the
+        call raised; ``node_id`` is the node that answered (None when the
+        bytes came straight from the PFS); ``reconnects`` counts the
+        transparent pooled-socket reconnects the operation needed.  The
+        load generator uses this to time requests end-to-end, including
+        detection stalls and re-routes.  The callback runs on the calling
+        thread and must be cheap.
+
+        ``tracer`` — when given — roots a distributed trace per top-level
+        operation (subject to the tracer's sample rate) and injects its
+        context into every RPC header, so servers continue the trace.
+        Without one, tracing is off and costs nothing.
         """
         self.servers = dict(servers)
         self.policy = policy
@@ -128,6 +157,9 @@ class FTCacheClient:
         self.detector = TimeoutFailureDetector(ttl=ttl, threshold=timeout_threshold)
         self.max_reroute_rounds = max_reroute_rounds
         self.on_op = on_op
+        self.tracer = tracer if tracer is not None else Tracer(node="client", enabled=False)
+        self.log = node_logger(__name__, getattr(self.tracer, "node", "client"))
+        self._op_ctx = _OpContext()
         self._pool = _ConnectionPool()
         #: every live pooled socket, across *all* threads — the pool is
         #: thread-local, so close() could otherwise never reach sockets
@@ -164,11 +196,19 @@ class FTCacheClient:
         pushed to the remaining replicas in the background.
         """
         t0 = time.perf_counter()
+        octx = self._op_ctx
+        octx.node_id, octx.reconnects = None, 0
+        span = self.tracer.start_trace("client.read", path=path)
+        octx.span = span
         try:
             data, source = self._read_routed(path)
         except Exception:
+            octx.span = None
+            span.end(status="error")
             self._notify("read", path, time.perf_counter() - t0, "error")
             raise
+        octx.span = None
+        span.set(source=source, node_id=octx.node_id).end()
         self._notify("read", path, time.perf_counter() - t0, source)
         return data
 
@@ -204,13 +244,22 @@ class FTCacheClient:
         write itself still succeeds — the next read misses to the PFS).
         """
         t0 = time.perf_counter()
+        octx = self._op_ctx
+        octx.node_id, octx.reconnects = None, 0
+        span = self.tracer.start_trace("client.write", path=path)
+        octx.span = span
         try:
-            self.pfs.write(path, data)
+            with self.tracer.start_span("client.pfs_write", span, path=path):
+                self.pfs.write(path, data)
             self._bump(writes=1)
             self._install_in_cache(path, data)
         except Exception:
+            octx.span = None
+            span.end(status="error")
             self._notify("write", path, time.perf_counter() - t0, "error")
             raise
+        octx.span = None
+        span.set(node_id=octx.node_id).end()
         self._notify("write", path, time.perf_counter() - t0, "ok")
 
     def _install_in_cache(self, path: str, data: bytes) -> None:
@@ -290,6 +339,8 @@ class FTCacheClient:
         ``weight/total_weight`` share) and ignored by the rest.
         """
         self.servers[node] = tuple(addr)
+        get_event_log().emit("node_admitted", node=node, weight=weight)
+        self.log.info("admitted node %s at %s", node, tuple(addr))
         self._bump_epoch(node)
         self._drop_conn(node)
         self.detector.reset(node)
@@ -354,6 +405,46 @@ class FTCacheClient:
         self._bump(join_plans_sent=1)
         return True
 
+    @contextmanager
+    def trace_op(self, name: str, **attrs):
+        """Root a trace around a block of explicit-node RPCs.
+
+        The join coordinator wraps each warmup key in one of these so the
+        ``read_from`` + ``transfer`` pair (and their server-side stages)
+        stitch into a single cross-node trace.  Nesting restores the
+        previous active span on exit.
+        """
+        span = self.tracer.start_trace(name, **attrs)
+        octx = self._op_ctx
+        prev = octx.span
+        octx.span = span
+        try:
+            yield span
+        except Exception:
+            span.end(status="error")
+            raise
+        finally:
+            octx.span = prev
+            span.end()
+
+    def obs_snapshot(self, node: NodeId, spans_limit: int = 512,
+                     events_limit: int = 512) -> Optional[dict]:
+        """One node's observability export (``OP_OBS``): the unified
+        telemetry snapshot plus its recent spans and events, or None on
+        timeout/refusal.  Outcomes do not feed the failure detector —
+        monitoring must not declare nodes."""
+        resp = self._rpc(
+            node,
+            Message.request(OP_OBS, spans_limit=int(spans_limit),
+                            events_limit=int(events_limit)),
+        )
+        if resp is None or not resp.ok:
+            return None
+        try:
+            return json.loads(resp.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+
     def server_stat(self, node: NodeId) -> Optional[dict]:
         """STAT one server (None on timeout); for tests and monitoring."""
         try:
@@ -389,7 +480,8 @@ class FTCacheClient:
     # -- internals -----------------------------------------------------------------
     def _notify(self, op: str, path: str, seconds: float, outcome: str) -> None:
         if self.on_op is not None:
-            self.on_op(op, path, seconds, outcome)
+            octx = self._op_ctx
+            self.on_op(op, path, seconds, outcome, octx.node_id, octx.reconnects)
 
     def _bump(self, **deltas: int) -> None:
         with self._stats_lock:
@@ -413,6 +505,8 @@ class FTCacheClient:
     def _declare_failed(self, node: NodeId) -> None:
         """Detector reached threshold: retire the node's sockets everywhere
         and let the fault policy react (NoFT raises out of here)."""
+        get_event_log().emit("death_declared", node=node)
+        self.log.warning("declared node %s failed", node)
         self._bump_epoch(node)
         self._drop_conn(node)
         with self._policy_lock:
@@ -461,23 +555,36 @@ class FTCacheClient:
         connections without being unhealthy now, so only the fresh
         attempt's outcome may count against the node.
         """
+        octx = self._op_ctx
+        span = self.tracer.start_span(
+            f"client.rpc_{(msg.op or 'op').lower()}", octx.span, node_id=node
+        )
+        if span.ctx is not None:
+            inject(msg.header, span.ctx)
         for _ in range(2):
             fresh = True
             try:
                 sock, fresh = self._checkout(node)
                 send_message(sock, msg)
-                return recv_message(sock)
+                resp = recv_message(sock)
+                octx.node_id = node
+                span.end()
+                return resp
             except (socket.timeout, TimeoutError):
                 # The node accepted the connection and went silent: the
                 # very hang the TTL exists to catch.  Always evidence.
                 self._drop_conn(node)
+                span.end(status="timeout")
                 return None
             except (ConnectionError, OSError):
                 self._drop_conn(node)
                 if fresh:
                     # Nothing listening / reset on a brand-new socket.
+                    span.end(status="conn_error")
                     return None
                 self._bump(reconnects=1)  # stale pooled socket: retry once
+                octx.reconnects += 1
+        span.end(status="error")
         return None  # pragma: no cover - loop always returns
 
     def _rpc_read(self, node: NodeId, path: str) -> Optional[tuple[bytes, str]]:

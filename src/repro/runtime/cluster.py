@@ -17,6 +17,7 @@ Typical use (also ``examples/runtime_cluster.py``)::
 
 from __future__ import annotations
 
+import json
 import shutil
 import tempfile
 from pathlib import Path
@@ -29,6 +30,7 @@ from ..core.membership import MembershipView
 from ..core.replication import ReplicatedRecache
 from ..core.hash_ring import HashRing
 from ..core.static_hash import StaticHash
+from ..obs import SpanBuffer, Tracer, get_event_log
 from ..rebalance import JoinCoordinator, JoinReport, RingDiff, RingEpoch
 from .client import FTCacheClient
 from .server import STAT_COUNTER_KEYS, FTCacheServer
@@ -54,9 +56,13 @@ class LocalCluster:
         mover_workers: int = 2,
         mover_queue_depth: int = 64,
         ring_probes: int = 1,
+        trace_sample_rate: float = 0.0,
+        trace_seed: int = 0,
     ):
         if n_servers < 1:
             raise ValueError("n_servers must be >= 1")
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError(f"trace_sample_rate must be in [0, 1], got {trace_sample_rate}")
         self.policy_name = policy
         self.replicas = replicas
         self.ttl = ttl
@@ -65,6 +71,14 @@ class LocalCluster:
         self.mover_queue_depth = mover_queue_depth
         self.nvme_capacity_bytes = nvme_capacity_bytes
         self.ring_probes = ring_probes
+        #: head-based sampling rate for client-rooted traces; 0 disables
+        #: tracing entirely (servers still trace iff a header arrives,
+        #: which then never happens)
+        self.trace_sample_rate = trace_sample_rate
+        self.trace_seed = trace_seed
+        #: span sink for join-control clients, which are closed (and their
+        #: tracers lost) when each join finishes — the buffer outlives them
+        self.control_spans = SpanBuffer()
         self._owns_workdir = workdir is None
         self.workdir = Path(workdir) if workdir is not None else Path(tempfile.mkdtemp(prefix="ftcache-"))
         self.pfs = PFSDir(self.workdir / "pfs", read_delay=pfs_read_delay)
@@ -118,12 +132,20 @@ class LocalCluster:
 
     def client(self, policy: Optional[FaultPolicy] = None) -> FTCacheClient:
         """A new fault-tolerant client (own policy instance by default)."""
+        tracer = None
+        if self.trace_sample_rate > 0.0:
+            tracer = Tracer(
+                node=f"client-{len(self._clients)}",
+                sample_rate=self.trace_sample_rate,
+                seed=self.trace_seed + len(self._clients),
+            )
         c = FTCacheClient(
             servers={i: s.address for i, s in self.servers.items()},
             policy=policy if policy is not None else self.make_policy(),
             pfs=self.pfs,
             ttl=self.ttl,
             timeout_threshold=self.timeout_threshold,
+            tracer=tracer,
         )
         self._clients.append(c)
         return c
@@ -149,6 +171,7 @@ class LocalCluster:
     # -- failure injection ----------------------------------------------------------------
     def kill_server(self, node_id: int, mode: str = "hang") -> None:
         """The DRAIN analogue: the server stops answering."""
+        get_event_log().emit("node_killed", node=node_id, mode=mode)
         self.servers[node_id].kill(mode=mode)
         self.membership.mark_failed(node_id)
         self.ring_epoch.advance()
@@ -182,6 +205,10 @@ class LocalCluster:
         else:
             fresh = self._spawn_server(node_id, nvme)
         self.servers[node_id] = fresh
+        get_event_log().emit(
+            "node_restarted", node=node_id, same_address=same_address,
+            notify_clients=notify_clients,
+        )
         self.membership.ensure_active(node_id)
         self.ring_epoch.advance()
         if notify_clients:
@@ -245,6 +272,12 @@ class LocalCluster:
                 pfs=self.pfs,
                 ttl=self.ttl,
                 timeout_threshold=self.timeout_threshold,
+                # Warmup traffic is rare and diagnostic gold: trace all of
+                # it (when tracing is on at all) into the cluster-owned
+                # buffer, which outlives this short-lived client.
+                tracer=Tracer(node="control", buffer=self.control_spans)
+                if self.trace_sample_rate > 0.0
+                else None,
             )
         except Exception:
             fresh.close()  # never leak a server thread on a failed plan
@@ -310,6 +343,39 @@ class LocalCluster:
                 **s.stats.counters(),
             }
         return out
+
+    # -- observability -------------------------------------------------------------------
+    def dump_obs(self, outdir: str | Path) -> list[Path]:
+        """Write every span buffer + the event log as JSONL into ``outdir``.
+
+        One ``spans-<name>.jsonl`` per process-side component (each server,
+        each client, the join-control buffer) plus ``events.jsonl`` —
+        exactly the layout ``python -m repro.obs`` merges back into
+        cross-node trace trees.  Empty buffers write nothing.  Returns the
+        files written.
+        """
+        outdir = Path(outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        sources: list[tuple[str, list[dict]]] = [
+            (f"server-{i}", s.tracer.buffer.snapshot()) for i, s in self.servers.items()
+        ]
+        sources += [
+            (f"client-{j}", c.tracer.buffer.snapshot()) for j, c in enumerate(self._clients)
+        ]
+        sources.append(("control", self.control_spans.snapshot()))
+        written: list[Path] = []
+        for name, spans in sources:
+            if not spans:
+                continue
+            path = outdir / f"spans-{name}.jsonl"
+            path.write_text("".join(json.dumps(s, default=str) + "\n" for s in spans))
+            written.append(path)
+        events = get_event_log().snapshot()
+        if events:
+            path = outdir / "events.jsonl"
+            path.write_text("".join(json.dumps(e, default=str) + "\n" for e in events))
+            written.append(path)
+        return written
 
     # -- lifecycle -----------------------------------------------------------------------
     def close(self) -> None:

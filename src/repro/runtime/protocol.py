@@ -5,6 +5,11 @@ length, a JSON header of that length, then ``header["payload_len"]`` raw
 bytes.  Requests carry an ``op`` (``READ`` / ``PING`` / ``STAT``);
 responses carry ``status`` plus op-specific fields.  The framing is
 symmetric, so one codec serves client and server.
+
+Requests may additionally carry ``trace_id``/``span_id`` correlation
+fields (injected by :func:`repro.obs.context.inject` on traced
+operations); the framing and handlers treat them as opaque header data —
+only the observability layer reads them back.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ __all__ = [
     "OP_PUT",
     "OP_JOIN_PLAN",
     "OP_TRANSFER",
+    "OP_OBS",
 ]
 
 OP_READ = "READ"
@@ -37,6 +43,9 @@ OP_PUT = "PUT"
 OP_JOIN_PLAN = "JOIN_PLAN"
 #: backfill one moved key into a joining node's bounded mover (rebalance)
 OP_TRANSFER = "TRANSFER"
+#: observability export: unified telemetry snapshot + recent spans/events
+#: as a JSON payload (headers stay small; the data rides the binary lane)
+OP_OBS = "OBS"
 
 STATUS_OK = "OK"
 STATUS_ERROR = "ERROR"

@@ -22,9 +22,11 @@ listener outright (connection refused).
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -32,8 +34,11 @@ from typing import Optional
 from functools import partial
 
 from ..analysis import lockwitness
+from ..obs import NULL_SPAN, Telemetry, Tracer, extract, get_event_log, node_logger
+from ..obs.context import TraceContext
 from .protocol import (
     OP_JOIN_PLAN,
+    OP_OBS,
     OP_PING,
     OP_PUT,
     OP_READ,
@@ -125,6 +130,8 @@ class DataMoverPool:
         node_id: int,
         workers: int = 2,
         queue_depth: int = 64,
+        tracer: Optional[Tracer] = None,
+        events=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -132,10 +139,15 @@ class DataMoverPool:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.nvme = nvme
         self.stats = stats
+        self.node_id = node_id
         self.workers = workers
         self.queue_depth = queue_depth
+        self.tracer = tracer if tracer is not None else Tracer(node=node_id, enabled=False)
+        self.events = events if events is not None else get_event_log()
         self._cond = lockwitness.named_condition("mover-cond")
-        self._queue: "OrderedDict[str, bytes]" = OrderedDict()
+        #: path → (bytes, queue-wait span): the span starts at submit and
+        #: ends at dequeue, so its duration *is* the queue wait
+        self._queue: "OrderedDict[str, tuple]" = OrderedDict()
         self._inflight: set[str] = set()
         self._closed = False
         self._threads = [
@@ -146,8 +158,14 @@ class DataMoverPool:
             t.start()
 
     # -- producer side ---------------------------------------------------------------
-    def submit(self, path: str, data: bytes) -> bool:
-        """Enqueue one recache; False only after :meth:`close`."""
+    def submit(self, path: str, data: bytes, ctx: Optional[TraceContext] = None) -> bool:
+        """Enqueue one recache; False only after :meth:`close`.
+
+        ``ctx`` is the submitting request's trace context; when present,
+        the queue wait and the eventual NVMe write become spans of that
+        trace, so a traced READ shows its asynchronous recache tail.
+        """
+        dropped_span = None
         with self._cond:
             if self._closed:
                 return False
@@ -155,11 +173,14 @@ class DataMoverPool:
                 self.stats.bump(mover_coalesced=1)
                 return True
             if len(self._queue) >= self.queue_depth:
-                self._queue.popitem(last=False)
+                _, (_, dropped_span) = self._queue.popitem(last=False)
                 self.stats.bump(mover_dropped=1)
-            self._queue[path] = data
+            qspan = self.tracer.start_span("mover.queue_wait", ctx, path=path)
+            self._queue[path] = (data, qspan)
             self.stats.bump(mover_enqueued=1)
             self._cond.notify()
+        if dropped_span is not None:
+            dropped_span.end(status="dropped")
         return True
 
     # -- worker side -----------------------------------------------------------------
@@ -170,16 +191,23 @@ class DataMoverPool:
                     self._cond.wait()
                 if not self._queue:  # closed and drained
                     return
-                path, data = self._queue.popitem(last=False)
+                path, (data, qspan) = self._queue.popitem(last=False)
                 self._inflight.add(path)
+            qspan.end()
+            self.events.emit("recache_begin", node=self.node_id, path=path, nbytes=len(data))
+            wspan = self.tracer.start_span("mover.nvme_write", qspan, path=path)
+            ok = True
             try:
-                self.nvme.write(path, data)
-                self.stats.bump(recached=1)
-            except OSError:
-                pass  # cache full: serveable but not cacheable
+                try:
+                    self.nvme.write(path, data)
+                    self.stats.bump(recached=1)
+                except OSError:
+                    ok = False  # cache full: serveable but not cacheable
             finally:
                 with self._cond:
                     self._inflight.discard(path)
+            wspan.end(status="ok" if ok else "error")
+            self.events.emit("recache_end", node=self.node_id, path=path, ok=ok)
 
     # -- introspection / lifecycle -----------------------------------------------------
     @property
@@ -192,11 +220,15 @@ class DataMoverPool:
 
     def close(self, drain: bool = True, timeout: float = 5.0) -> None:
         """Stop accepting work; drain (or discard) the queue; join workers."""
+        discarded = []
         with self._cond:
             self._closed = True
             if not drain:
+                discarded = [span for _, span in self._queue.values()]
                 self._queue.clear()
             self._cond.notify_all()
+        for span in discarded:
+            span.end(status="dropped")
         deadline = timeout
         for t in self._threads:
             t.join(timeout=max(0.1, deadline / max(1, len(self._threads))))
@@ -226,7 +258,10 @@ class _Handler(socketserver.BaseRequestHandler):
                     owner.hang_barrier.wait()
                     return
                 response = owner.dispatch(msg)
+                sspan = owner.tracer.start_span("server.serialize", extract(msg.header),
+                                                nbytes=len(response.payload))
                 send_message(self.request, response)
+                sspan.end()
         except (ConnectionError, OSError):
             return  # client went away / server shutting down
 
@@ -249,11 +284,24 @@ class FTCacheServer:
         port: int = 0,
         mover_workers: int = 2,
         mover_queue_depth: int = 64,
+        tracer: Optional[Tracer] = None,
     ):
         self.node_id = node_id
         self.nvme = nvme
         self.pfs = pfs
         self.stats = ServerStats()
+        #: server-side spans are always created *from* an incoming trace
+        #: context — no context, no span — so an always-enabled tracer
+        #: costs nothing until a client opts into tracing
+        self.tracer = tracer if tracer is not None else Tracer(node=node_id)
+        self.events = get_event_log()
+        self.log = node_logger(__name__, node_id)
+        self.telemetry = Telemetry(node=node_id)
+        self.telemetry.adopt_counters("server", self.stats.counters)
+        self.telemetry.gauge("mover_queue_len", lambda: self.mover.queue_len)
+        self.telemetry.gauge("cached_bytes", lambda: self.nvme.used_bytes)
+        self.telemetry.gauge("cached_entries", lambda: self.nvme.entry_count())
+        self.telemetry.gauge("evictions", lambda: self.nvme.evictions)
         self.hung = threading.Event()
         self.dropped = threading.Event()
         #: released only at shutdown so hung handlers can exit
@@ -262,7 +310,13 @@ class FTCacheServer:
         self._tcp.owner = self
         self._thread: Optional[threading.Thread] = None
         self.mover = DataMoverPool(
-            nvme, self.stats, node_id, workers=mover_workers, queue_depth=mover_queue_depth
+            nvme,
+            self.stats,
+            node_id,
+            workers=mover_workers,
+            queue_depth=mover_queue_depth,
+            tracer=self.tracer,
+            events=self.events,
         )
         #: accepted connections, severed on close() so pooled client sockets
         #: observe a restart instead of silently talking to a dead instance
@@ -291,6 +345,7 @@ class FTCacheServer:
         )
         self._thread.start()
         self._alive = True
+        self.log.info("serving on %s:%d", *self.address)
         return self
 
     def _register_conn(self, sock: socket.socket) -> None:
@@ -309,6 +364,7 @@ class FTCacheServer:
         """
         if mode not in ("hang", "drop"):
             raise ValueError(f"mode must be 'hang' or 'drop', got {mode!r}")
+        self.log.warning("killed (mode=%s)", mode)
         self._alive = False
         if mode == "hang":
             self.hung.set()
@@ -345,6 +401,21 @@ class FTCacheServer:
 
     # -- request handling -----------------------------------------------------------
     def dispatch(self, msg: Message) -> Message:
+        """Route one request; every op gets a span (when the request carries
+        a trace context) and a latency observation in the telemetry registry."""
+        op = msg.op or "unknown"
+        span = self.tracer.start_span(f"server.{op.lower()}", extract(msg.header))
+        t0 = time.perf_counter()
+        try:
+            response = self._dispatch(msg, span)
+        except Exception:
+            span.end(status="error")
+            raise
+        self.telemetry.observe(f"op_{op.lower()}_s", time.perf_counter() - t0)
+        span.end(status="ok" if response.ok else "error")
+        return response
+
+    def _dispatch(self, msg: Message, span=NULL_SPAN) -> Message:
         if msg.op == OP_PING:
             return Message.ok_response(node_id=self.node_id)
         if msg.op == OP_STAT:
@@ -359,7 +430,7 @@ class FTCacheServer:
                 **self.stats.counters(),
             )
         if msg.op == OP_READ:
-            return self._read(msg.header.get("path", ""))
+            return self._read(msg.header.get("path", ""), span)
         if msg.op == OP_PUT:
             return self._put(msg.header.get("path", ""), msg.payload)
         if msg.op == OP_JOIN_PLAN:
@@ -369,30 +440,53 @@ class FTCacheServer:
                 msg.header.get("epoch", 0),
             )
         if msg.op == OP_TRANSFER:
-            return self._transfer(msg.header.get("path", ""), msg.payload)
+            return self._transfer(msg.header.get("path", ""), msg.payload, span)
+        if msg.op == OP_OBS:
+            return self._obs(
+                msg.header.get("spans_limit", 256),
+                msg.header.get("events_limit", 256),
+            )
         self.stats.bump(errors=1)
         return Message.error_response(f"unknown op {msg.op!r}")
 
-    def _read(self, path: str) -> Message:
+    def _read(self, path: str, parent=NULL_SPAN) -> Message:
         if not path:
             self.stats.bump(errors=1)
             return Message.error_response("missing path")
         if self.nvme.contains(path):
+            nspan = self.tracer.start_span("server.nvme_read", parent, path=path)
             try:
                 data = self.nvme.read(path)
-                self.stats.bump(hits=1)
-                return Message.ok_response(payload=data, source="cache")
             except OSError:
                 # Entry raced away (eviction); fall through to the PFS.
+                nspan.end(status="race_fallthrough")
                 self.stats.bump(race_fallthroughs=1)
+            else:
+                nspan.end()
+                self.stats.bump(hits=1)
+                return Message.ok_response(payload=data, source="cache")
+        pspan = self.tracer.start_span("server.pfs_read", parent, path=path)
         try:
             data = self.pfs.read(path)
         except FileNotFoundError:
+            pspan.end(status="enoent")
             self.stats.bump(errors=1)
             return Message.error_response(f"no such file: {path}", code="ENOENT")
+        pspan.end()
         self.stats.bump(misses=1, pfs_reads=1)
-        self.mover.submit(path, data)
+        self.mover.submit(path, data, ctx=parent.ctx)
         return Message.ok_response(payload=data, source="pfs")
+
+    def _obs(self, spans_limit, events_limit) -> Message:
+        """Observability export: one JSON payload with the unified telemetry
+        snapshot, tracer accounting, recent spans, and recent events.  The
+        response header stays empty on purpose — bulk data belongs in the
+        payload lane, keeping the wire contract (RPC004) trivially green."""
+        snap = self.telemetry.snapshot()
+        snap["tracer"] = self.tracer.counters()
+        snap["spans"] = self.tracer.buffer.snapshot(limit=int(spans_limit))
+        snap["events"] = self.events.snapshot(limit=int(events_limit))
+        return Message.ok_response(payload=json.dumps(snap, default=str).encode("utf-8"))
 
     def _join_plan(self, planned_keys: int, planned_bytes: int, epoch: int) -> Message:
         """Record an impending join's move plan (this node is the joiner).
@@ -409,7 +503,7 @@ class FTCacheServer:
         self.stats.bump(join_plans=1)
         return Message.ok_response(node_id=self.node_id, accepted_keys=int(planned_keys))
 
-    def _transfer(self, path: str, data: bytes) -> Message:
+    def _transfer(self, path: str, data: bytes, parent=NULL_SPAN) -> Message:
         """Warmup backfill: hand one moved key to the bounded data mover.
 
         The mover — not this handler — writes the NVMe entry, so transfer
@@ -420,7 +514,7 @@ class FTCacheServer:
         if not path:
             self.stats.bump(errors=1)
             return Message.error_response("missing path")
-        accepted = self.mover.submit(path, data)
+        accepted = self.mover.submit(path, data, ctx=parent.ctx)
         if accepted:
             self.stats.bump(transfers_in=1, transfer_bytes=len(data))
         return Message.ok_response(accepted=accepted, queue_len=self.mover.queue_len)

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..analysis import lockwitness
+from ..obs.events import get_event_log
 
 __all__ = ["NVMeDir", "PFSDir"]
 
@@ -99,6 +100,7 @@ class NVMeDir:
         if self.capacity_bytes is not None and len(data) > self.capacity_bytes:
             raise OSError(f"entry of {len(data)} bytes exceeds cache capacity {self.capacity_bytes}")
         name = _entry_name(key)
+        evicted: list[tuple[str, int]] = []
         # The stage/rename/unlink I/O stays inside the critical section on purpose:
         # eviction choice, byte accounting, and the install must commit atomically
         # (a reader may race an eviction; the accounting may not).  Everything here
@@ -116,6 +118,7 @@ class NVMeDir:
                         pass
                     self._used -= vsize
                     self.evictions += 1
+                    evicted.append((victim, vsize))
             target = self._path(key)
             tmp = self.root / f"{_TMP_PREFIX}{os.getpid()}-{threading.get_ident()}-{name}"
             try:
@@ -129,6 +132,10 @@ class NVMeDir:
                 raise
             self._lru[name] = len(data)
             self._used += len(data)
+        # Event emission stays outside the critical section (RT001): the
+        # counters above are the atomic truth; events are best-effort order.
+        for victim, vsize in evicted:
+            get_event_log().emit("eviction", store=self.root.name, entry=victim, nbytes=vsize)
 
     def drop(self, key: str) -> None:
         path = self._path(key)

@@ -130,3 +130,24 @@ class TestHookRecorder:
         rec("write", "/c", 0.003, "ok")
         assert rec.service_histogram().count == 3
         assert rec.outcome_counts() == {"read:cache": 1, "read:pfs": 1, "write:ok": 1}
+
+    def test_node_attribution_and_reconnects(self):
+        rec = HookRecorder()
+        rec("read", "/a", 0.001, "cache", node_id=0)
+        rec("read", "/b", 0.001, "cache", node_id=0, reconnects=1)
+        rec("read", "/c", 0.001, "pfs", node_id=2)
+        rec("read", "/d", 0.001, "pfs_direct")  # no node answered
+        assert rec.node_counts() == {"node:0": 2, "node:2": 1}
+        assert rec.reconnects() == 1
+        # attribution never leaks into the outcome counts
+        assert rec.outcome_counts() == {"read:cache": 2, "read:pfs": 1, "read:pfs_direct": 1}
+
+    def test_driver_result_carries_node_ops(self, cluster, workload):
+        client = cluster.client()
+        result = ClosedLoopDriver(client, workload, DriverConfig(workers=2)).run(0.3)
+        d = result.to_dict()
+        assert "node_ops" in d and "reconnects" in d
+        # every successfully-answered cache/pfs read was attributed to a node
+        attributed = sum(result.node_ops.values())
+        assert attributed > 0
+        assert attributed <= result.ops

@@ -2,7 +2,7 @@
 
 A scheduled ``join`` ChaosEvent fires mid-phase while the driver hammers
 the cluster; the run must finish with zero client-visible errors and the
-BENCH artifact must carry the schema-v3 ``rebalance`` block.
+BENCH artifact must carry the ``rebalance`` block (schema v3+).
 """
 
 import json
@@ -36,7 +36,7 @@ class TestChaosEventValidation:
 
 
 class TestJoinUnderTraffic:
-    def test_join_scenario_zero_errors_and_v3_artifact(self, tmp_path):
+    def test_join_scenario_zero_errors_and_versioned_artifact(self, tmp_path):
         spec = WorkloadSpec(n_files=48, file_bytes=1024, distribution="zipf", seed=7)
         phases = [
             PhaseSpec(
@@ -53,7 +53,7 @@ class TestJoinUnderTraffic:
             report = scenario.run()
 
         d = report.to_dict()
-        assert d["schema_version"] == BENCH_SCHEMA_VERSION == 3
+        assert d["schema_version"] == BENCH_SCHEMA_VERSION == 4
         assert d["totals"]["errors"] == 0, d["totals"]
         # the join fired and is recorded both as a chaos action...
         actions = d["phases"][0]["chaos"]

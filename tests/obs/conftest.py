@@ -1,0 +1,16 @@
+"""Obs-suite isolation: every test gets a fresh process-global event log.
+
+The event log is process-global on purpose (emitters live deep in the
+runtime); without this reset, events from one test's cluster would leak
+into the next test's assertions.
+"""
+
+import pytest
+
+from repro.obs import reset_event_log
+
+
+@pytest.fixture(autouse=True)
+def fresh_event_log():
+    yield reset_event_log()
+    reset_event_log()

@@ -1,0 +1,147 @@
+"""Trace-tree stitching, stage breakdown, coverage, and the obs CLI."""
+
+import json
+
+from repro.obs.__main__ import analyse, main
+from repro.obs.analysis import (
+    build_traces,
+    coverage,
+    coverage_quantile,
+    critical_path,
+    load_span_files,
+    render_trace,
+    slowest_traces,
+    stage_breakdown,
+)
+
+
+def _span(trace, span, parent=None, name="op", node="n", dur=0.01, t=0.0, status="ok"):
+    return {
+        "trace_id": trace,
+        "span_id": span,
+        "parent_id": parent,
+        "name": name,
+        "node": node,
+        "t_wall": t,
+        "t_mono": t,
+        "duration_s": dur,
+        "status": status,
+    }
+
+
+def _one_trace():
+    """client.read on the client, rpc + server stages across two nodes."""
+    return [
+        _span("t1", "a", None, "client.read", "client", 0.010, t=0.0),
+        _span("t1", "b", "a", "client.rpc_read", "client", 0.009, t=0.001),
+        _span("t1", "c", "b", "server.read", "0", 0.005, t=0.002),
+        _span("t1", "d", "c", "server.nvme_read", "0", 0.004, t=0.003),
+        _span("t1", "e", "b", "server.serialize", "0", 0.001, t=0.007),
+    ]
+
+
+class TestBuildTraces:
+    def test_stitches_parent_child_across_nodes(self):
+        traces = build_traces(_one_trace())
+        (root,) = traces["t1"]
+        assert root.name == "client.read"
+        (rpc,) = root.children
+        assert [c.name for c in rpc.children] == ["server.read", "server.serialize"]
+        assert rpc.children[0].children[0].name == "server.nvme_read"
+
+    def test_orphans_surface_as_extra_roots(self):
+        spans = [
+            _span("t1", "a", None, "client.read"),
+            _span("t1", "z", "missing", "server.read", t=1.0),
+        ]
+        roots = build_traces(spans)["t1"]
+        assert [r.name for r in roots] == ["client.read", "server.read"]
+
+    def test_children_sorted_by_wall_time(self):
+        spans = [
+            _span("t1", "a", None, "root"),
+            _span("t1", "c", "a", "late", t=2.0),
+            _span("t1", "b", "a", "early", t=1.0),
+        ]
+        (root,) = build_traces(spans)["t1"]
+        assert [c.name for c in root.children] == ["early", "late"]
+
+
+class TestSummaries:
+    def test_stage_breakdown(self):
+        table = stage_breakdown(_one_trace())
+        assert table["server.nvme_read"]["count"] == 1
+        assert table["client.read"]["total_s"] == 0.010
+        assert table["client.read"]["p50_s"] <= table["client.read"]["max_s"]
+
+    def test_slowest_traces_filter_by_root_name(self):
+        spans = _one_trace() + [
+            _span("t2", "x", None, "client.read", dur=0.5),
+            _span("t3", "y", None, "client.write", dur=9.9),
+        ]
+        slow = slowest_traces(build_traces(spans), n=5, root_name="client.read")
+        assert [r.trace_id for r in slow] == ["t2", "t1"]
+
+    def test_critical_path_follows_largest_child(self):
+        (root,) = build_traces(_one_trace())["t1"]
+        assert [n.name for n in critical_path(root)] == [
+            "client.read", "client.rpc_read", "server.read", "server.nvme_read",
+        ]
+
+    def test_coverage(self):
+        (root,) = build_traces(_one_trace())["t1"]
+        assert coverage(root) == 0.009 / 0.010
+        traces = build_traces(_one_trace())
+        assert coverage_quantile(traces, 0.5) == 0.009 / 0.010
+        assert coverage_quantile({}, 0.5) is None
+
+    def test_render_trace_marks_non_ok_status(self):
+        spans = [
+            _span("t1", "a", None, "client.read"),
+            _span("t1", "b", "a", "client.rpc_read", status="timeout"),
+        ]
+        (root,) = build_traces(spans)["t1"]
+        text = "\n".join(render_trace(root))
+        assert "trace t1" in text and "[timeout]" in text
+
+
+class TestLoadAndCli:
+    def _dump(self, tmp_path):
+        f = tmp_path / "spans-x.jsonl"
+        f.write_text(
+            "\n".join(json.dumps(s) for s in _one_trace())
+            + "\nnot json\n"
+            + json.dumps({"no": "ids"})
+            + "\n"
+        )
+        return f
+
+    def test_load_span_files_skips_garbage(self, tmp_path):
+        f = self._dump(tmp_path)
+        assert len(load_span_files([f])) == 5
+        assert len(load_span_files([tmp_path])) == 5  # directory glob
+        assert load_span_files([tmp_path / "nope.jsonl"]) == []
+
+    def test_analyse_shape(self, tmp_path):
+        report = analyse([str(self._dump(tmp_path))], slowest=1, root_name="client.read")
+        assert report["spans"] == 5 and report["traces"] == 1
+        assert report["coverage_p50"] == 0.009 / 0.010
+        (ex,) = report["slowest"]
+        assert ex["trace_id"] == "t1"
+        assert [n["name"] for n in ex["critical_path"]][-1] == "server.nvme_read"
+        json.dumps(report)
+
+    def test_cli_renders_and_writes_json(self, tmp_path, capsys):
+        f = self._dump(tmp_path)
+        out = tmp_path / "analysis.json"
+        rc = main([str(f), "--slowest", "1", "--json", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "5 spans, 1 traces" in printed
+        assert "server.nvme_read" in printed
+        assert "critical path:" in printed
+        assert json.loads(out.read_text())["spans"] == 5
+
+    def test_cli_fails_without_spans(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 1
+        assert "no spans" in capsys.readouterr().err

@@ -1,0 +1,78 @@
+"""Trace context: id generation, header round trip, contextvar mirror."""
+
+import logging
+
+from repro.obs import (
+    TraceContext,
+    configure_logging,
+    current_trace_id,
+    extract,
+    inject,
+    new_span_id,
+    new_trace_id,
+    node_logger,
+)
+from repro.obs.spans import Tracer
+
+
+class TestIds:
+    def test_shapes(self):
+        assert len(new_trace_id()) == 16
+        assert len(new_span_id()) == 8
+        int(new_trace_id(), 16)  # hex
+
+    def test_root_and_child(self):
+        root = TraceContext.root()
+        assert root.parent_id is None
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+
+class TestHeaderRoundTrip:
+    def test_inject_extract(self):
+        ctx = TraceContext.root()
+        header = {"op": "READ", "path": "/x"}
+        assert inject(header, ctx) is header
+        got = extract(header)
+        assert got == TraceContext(trace_id=ctx.trace_id, span_id=ctx.span_id)
+
+    def test_untraced_header_extracts_none(self):
+        assert extract({}) is None
+        assert extract({"op": "READ"}) is None
+
+    def test_garbage_header_extracts_none(self):
+        assert extract({"trace_id": 17, "span_id": "abcd1234"}) is None
+        assert extract({"trace_id": "abc", "span_id": None}) is None
+
+
+class TestContextvarMirror:
+    def test_active_span_sets_current_trace_id(self):
+        tracer = Tracer(node="t")
+        assert current_trace_id() is None
+        with tracer.start_trace("op") as span:
+            assert current_trace_id() == span.ctx.trace_id
+        assert current_trace_id() is None
+
+    def test_log_lines_carry_node_and_trace(self, capsys):
+        import io
+
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        try:
+            log = node_logger("repro.test", node_id=7)
+            tracer = Tracer(node="t")
+            with tracer.start_trace("op") as span:
+                log.info("inside")
+            log.info("outside")
+            out = stream.getvalue()
+            assert f"[node=7 trace={span.ctx.trace_id}]" in out
+            assert "[node=7 trace=-]" in out
+        finally:
+            # back to quiet-by-default for the rest of the suite
+            root = logging.getLogger("repro")
+            for h in list(root.handlers):
+                if not isinstance(h, logging.NullHandler):
+                    root.removeHandler(h)
+            root.setLevel(logging.NOTSET)
