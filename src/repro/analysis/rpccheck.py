@@ -10,9 +10,15 @@ fabric.  This checker extracts both sides and cross-checks them:
 
 ==========  ====================================================================
 RPC000      an op that is a string literal, or an ``OP_*`` name that does not
-            exist in the protocol constants (string-literal drift)
-RPC001      an op sent by a client but matched by no handler branch
-RPC002      a handler branch for an op no client ever sends
+            exist in the protocol constants (string-literal drift); also any
+            malformed ``BIN_OPS`` binary-table entry — a string-literal or
+            unknown key, a non-integer wire code, a code outside the 8-bit
+            header field, or two ops sharing one code
+RPC001      an op sent by a client but matched by no handler branch; also a
+            ``BIN_OPS`` entry with no handler branch (the binary codec would
+            decode frames nothing can dispatch)
+RPC002      a handler branch for an op no client ever sends; also a
+            ``BIN_OPS`` entry no client sends (dead binary wire surface)
 RPC003      a request field read by a handler but supplied by no sender of that
             op; for HVAC, a request attribute/constructor field that does not
             exist on the dataclass
@@ -166,6 +172,90 @@ class _OpResolver:
         return None, term or "<dynamic>"
 
 
+class _BinOpTable:
+    """The ``BIN_OPS = {OP_X: code, ...}`` binary op table of the protocol
+    module: which ops may ride the fixed binary header, and under which
+    8-bit wire code.  Malformed entries are RPC000 drift — a bad table
+    silently desynchronises every binary peer."""
+
+    def __init__(self, modules: List[_ModuleIndex], ops: _OpResolver):
+        #: op value → wire code, for well-formed entries only
+        self.codes: Dict[str, int] = {}
+        #: op value → table-entry line, for precise findings downstream
+        self.lines: Dict[str, int] = {}
+        self.site: Optional[Tuple[str, int]] = None
+        for idx in modules:
+            for node in idx.ctx.tree.body:
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id == "BIN_OPS"
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    self._parse(node.value, idx.ctx.path, ops)
+                    self.site = (idx.ctx.path, node.lineno)
+
+    def _parse(self, table: ast.Dict, path: str, ops: _OpResolver) -> None:
+        seen_codes: Dict[int, str] = {}
+        for key, value in zip(table.keys, table.values):
+            if key is None:  # **splat: nothing static to check
+                continue
+            op, op_text = ops.resolve(key, path, "BIN_OPS table")
+            code = (
+                value.value
+                if isinstance(value, ast.Constant) and type(value.value) is int
+                else None
+            )
+            if code is None:
+                ops.findings.append(
+                    Finding(
+                        rule="RPC000",
+                        path=path,
+                        line=value.lineno,
+                        col=value.col_offset,
+                        message=(
+                            f"BIN_OPS entry for {op_text} has a non-integer wire "
+                            f"code — the binary header packs it as one byte"
+                        ),
+                    )
+                )
+                continue
+            if not 1 <= code <= 0xFF:
+                ops.findings.append(
+                    Finding(
+                        rule="RPC000",
+                        path=path,
+                        line=value.lineno,
+                        col=value.col_offset,
+                        message=(
+                            f"BIN_OPS code {code} for {op_text} does not fit the "
+                            f"8-bit op field (must be 1..255)"
+                        ),
+                    )
+                )
+                continue
+            if code in seen_codes:
+                ops.findings.append(
+                    Finding(
+                        rule="RPC000",
+                        path=path,
+                        line=value.lineno,
+                        col=value.col_offset,
+                        message=(
+                            f"BIN_OPS code {code} for {op_text} already names "
+                            f"{seen_codes[code]!r} — decoders cannot tell the "
+                            f"two ops apart"
+                        ),
+                    )
+                )
+                continue
+            seen_codes[code] = op if op is not None else op_text
+            if op is not None:
+                self.codes[op] = code
+                self.lines[op] = key.lineno
+
+
 # ----------------------------------------------------------------- runtime stack
 def _is_message_call(call: ast.Call, method: str) -> bool:
     name = dotted_name(call.func)
@@ -269,6 +359,7 @@ class _RuntimeStack:
         paths = {idx.ctx.path for idx in self.modules}
         self.functions = [fi for fi in graph.functions.values() if fi.path in paths]
         self.ops = _OpResolver(self.modules)
+        self.bin_table = _BinOpTable(self.modules, self.ops)
         self.requests: List[RequestSite] = []
         self.branches: List[HandlerBranch] = []
         self.consumptions: List[Consumption] = []
@@ -570,6 +661,39 @@ class RpcConformanceRule(ProjectRule):
                             f"dead protocol surface or a missing sender"
                         ),
                     )
+
+        # Binary op table: every BIN_OPS entry is a wire capability, so it
+        # must be dispatchable server-side and actually used client-side.
+        table = stack.bin_table
+        if table.site is not None:
+            path, site_line = table.site
+            if has_handlers:
+                for op in sorted(table.codes):
+                    if op not in handled_ops:
+                        yield Finding(
+                            rule="RPC001",
+                            path=path,
+                            line=table.lines.get(op, site_line),
+                            message=(
+                                f"binary op table entry {op!r} (code "
+                                f"{table.codes[op]}) matches no handler dispatch "
+                                f"branch — the binary codec decodes frames "
+                                f"nothing can serve"
+                            ),
+                        )
+            if has_senders:
+                for op in sorted(table.codes):
+                    if op not in sent_ops:
+                        yield Finding(
+                            rule="RPC002",
+                            path=path,
+                            line=table.lines.get(op, site_line),
+                            message=(
+                                f"binary op table entry {op!r} (code "
+                                f"{table.codes[op]}) is sent by no client — "
+                                f"dead binary wire surface"
+                            ),
+                        )
 
         # RPC003: request fields the handler reads vs fields senders supply
         for branch in stack.branches:

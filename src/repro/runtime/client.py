@@ -45,6 +45,7 @@ from ..core.fault_policy import FaultPolicy
 from ..core.replication import ReplicatedRecache
 from ..obs import Tracer, get_event_log, inject, node_logger
 from .protocol import (
+    BIN_OPS,
     OP_JOIN_PLAN,
     OP_OBS,
     OP_PING,
@@ -53,8 +54,11 @@ from .protocol import (
     OP_STAT,
     OP_TRANSFER,
     Message,
+    ProtocolError,
     recv_message,
+    send_binary_request,
     send_message,
+    set_nodelay,
 )
 from .storage import PFSDir
 
@@ -78,6 +82,7 @@ CLIENT_COUNTER_KEYS = (
     "reconnects",
     "join_plans_sent",
     "transfers_sent",
+    "pipelined_reads",
 )
 
 
@@ -131,8 +136,17 @@ class FTCacheClient:
         max_reroute_rounds: int = 32,
         on_op: Optional[Callable[[str, str, float, str, Optional[NodeId], int], None]] = None,
         tracer: Optional[Tracer] = None,
+        wire: str = "binary",
     ):
         """``servers`` maps node id → ``(host, port)``.
+
+        ``wire`` selects the request codec for payload-bearing ops
+        (READ/PUT/TRANSFER): ``"binary"`` (the default) frames them with
+        the fixed binary header and unlocks pipelined :meth:`read_many`;
+        ``"json"`` keeps every request on the legacy JSON frames.
+        Control-plane ops (PING/STAT/OBS/JOIN_PLAN) always use JSON, and
+        the server answers each request in the codec it arrived on — the
+        two wire modes interoperate on one connection.
 
         ``on_op(op, path, seconds, outcome, node_id, reconnects)`` — if
         given — is invoked after every completed top-level operation with
@@ -151,6 +165,9 @@ class FTCacheClient:
         context into every RPC header, so servers continue the trace.
         Without one, tracing is off and costs nothing.
         """
+        if wire not in ("binary", "json"):
+            raise ValueError(f"wire must be 'binary' or 'json', got {wire!r}")
+        self.wire = wire
         self.servers = dict(servers)
         self.policy = policy
         self.pfs = pfs
@@ -309,6 +326,7 @@ class FTCacheClient:
                 try:
                     with socket.create_connection(self._addr(node), timeout=self.detector.ttl) as sock:
                         sock.settimeout(self.detector.ttl)
+                        set_nodelay(sock)
                         msg = Message.request(OP_PUT, path=path)
                         msg.payload = data
                         send_message(sock, msg)
@@ -321,7 +339,94 @@ class FTCacheClient:
         threading.Thread(target=_push, name="replica-push", daemon=True).start()
 
     def read_many(self, paths: list[str]) -> list[bytes]:
-        return [self.read(p) for p in paths]
+        """Read a batch of files; order of results matches ``paths``.
+
+        On the binary wire, paths owned by the same node are **pipelined**
+        over that node's pooled socket: every READ goes out back to back
+        with a per-request ``seq``, and responses — which the server may
+        complete out of order — are correlated by the echoed seq.  One
+        socket round of framing latency is paid per *batch*, not per key.
+
+        Anything that can't be pipelined falls back to the sequential
+        :meth:`read` path with its full detection/re-route semantics:
+        PFS-direct policy routes, replicated multi-candidate reads, the
+        JSON wire, and any batch whose socket times out or desyncs
+        mid-flight (the socket is retired first — a half-drained pipeline
+        must never be reused).
+        """
+        if self.wire != "binary" or len(paths) < 2:
+            return [self.read(p) for p in paths]
+        results: dict[int, bytes] = {}
+        groups: dict[NodeId, list[tuple[int, str]]] = {}
+        sequential: list[int] = []
+        for i, path in enumerate(paths):
+            candidates = self._candidates(path)
+            if candidates is not None and len(candidates) == 1:
+                groups.setdefault(candidates[0], []).append((i, path))
+            else:
+                sequential.append(i)
+        for node, batch in groups.items():
+            if not self._read_batch(node, batch, results):
+                sequential.extend(i for i, _ in batch)
+        for i in sorted(sequential):
+            if i not in results:
+                results[i] = self.read(paths[i])
+        return [results[i] for i in range(len(paths))]
+
+    def _read_batch(
+        self, node: NodeId, batch: list[tuple[int, str]], results: dict[int, bytes]
+    ) -> bool:
+        """Pipeline one node's batch; False → caller re-reads sequentially.
+
+        All requests are sent before any response is read, and all
+        responses are drained before any is judged — raising mid-pipeline
+        would strand unread frames on a pooled socket.
+        """
+        octx = self._op_ctx
+        octx.node_id, octx.reconnects = node, 0
+        t0 = time.perf_counter()
+        span = self.tracer.start_trace("client.read_many", node_id=node, batch=len(batch))
+        try:
+            try:
+                sock, _ = self._checkout(node)
+                for seq, (_, path) in enumerate(batch, start=1):
+                    msg = Message.request(OP_READ, path=path)
+                    if span.ctx is not None:
+                        inject(msg.header, span.ctx)
+                    send_binary_request(sock, msg, seq=seq)
+                replies: dict[int, Message] = {}
+                for _ in batch:
+                    resp = recv_message(sock)
+                    replies[resp.seq] = resp
+            except (socket.timeout, TimeoutError, ConnectionError, OSError, ProtocolError):
+                # Transport wobble mid-batch: the socket may hold half a
+                # pipeline, so retire it, and let the sequential path redo
+                # the batch (feeding the detector per-attempt as usual).
+                self._drop_conn(node)
+                span.end(status="fallback")
+                return False
+            self.detector.record_success(node)
+            for seq, (i, path) in enumerate(batch, start=1):
+                resp = replies.get(seq)
+                if resp is None:
+                    continue  # unmatched seq: sequential fallback re-reads it
+                if not resp.ok:
+                    if resp.header.get("code") == "ENOENT":
+                        raise ReadError(f"no such file: {path}")
+                    raise ReadError(f"server error for {path!r}: {resp.header.get('reason')}")
+                source = resp.header.get("source", "cache")
+                if source == "pfs":
+                    self._bump(server_pfs_reads=1, pipelined_reads=1)
+                    self._push_replicas(path, resp.payload, served_by=node)
+                else:
+                    self._bump(server_cache_reads=1, pipelined_reads=1)
+                results[i] = resp.payload
+                self._notify("read", path, time.perf_counter() - t0, source)
+        except Exception:
+            span.end(status="error")
+            raise
+        span.end()
+        return True
 
     def admit_node(self, node: NodeId, addr: tuple, weight: Optional[float] = None) -> None:
         """(Re-)admit a server: elastic scale-up / rejoin after repair.
@@ -528,6 +633,7 @@ class FTCacheClient:
             self._discard_sock(pooled.sock)
         sock = socket.create_connection(addr, timeout=self.detector.ttl)
         sock.settimeout(self.detector.ttl)
+        set_nodelay(sock)
         with self._socks_lock:
             self._live_socks.add(sock)
         self._pool.conns[node] = _PooledConn(sock, epoch, addr)
@@ -565,7 +671,10 @@ class FTCacheClient:
             fresh = True
             try:
                 sock, fresh = self._checkout(node)
-                send_message(sock, msg)
+                if self.wire == "binary" and msg.op in BIN_OPS:
+                    send_binary_request(sock, msg)
+                else:
+                    send_message(sock, msg)
                 resp = recv_message(sock)
                 octx.node_id = node
                 span.end()

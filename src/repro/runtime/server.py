@@ -1,10 +1,24 @@
-"""Threaded FT-Cache server: one per (simulated) node, real sockets.
+"""Event-loop FT-Cache server: one per (simulated) node, real sockets.
 
 Serves the same protocol as the paper's HVAC server daemon: a READ either
 hits the node-local cache directory or falls through to the shared PFS
 directory, serves the bytes, and hands them to a background *data mover*
 for recaching — the Sec IV-B retrieve → serve → cache sequence, now with
-actual files and actual threads.
+actual files over an asyncio data plane.
+
+The core is **one event loop per server**, not a thread per connection:
+thousands of concurrent sockets multiplex onto a single selector thread,
+framing and the binary READ fast path run on the loop, and anything that
+may block (PFS reads, NVMe installs, STAT aggregation) is handed to a
+small bounded dispatch executor.  Binary-framed requests carry a ``seq``
+correlation id and are **pipelined** — each becomes its own task, and
+responses complete out of order under a per-connection write lock — while
+JSON frames keep the legacy strictly-in-order, one-at-a-time contract so
+old clients observe exactly the pre-rewrite behaviour.  A binary READ
+that hits the cache is served **zero-copy**: the reply header is written
+from the loop and the entry's bytes move kernel-side via
+``loop.sendfile`` (``os.sendfile``) straight from the NVMe file to the
+socket, never entering Python.
 
 The data mover is a **bounded worker pool** (:class:`DataMoverPool`), not
 a thread per miss: a miss storm (cold cache, failover re-homing a node's
@@ -22,12 +36,13 @@ listener outright (connection refused).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
-import socketserver
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -45,12 +60,19 @@ from .protocol import (
     OP_STAT,
     OP_TRANSFER,
     Message,
-    recv_message,
-    send_message,
+    ProtocolError,
+    encode_binary_response_header,
+    encode_json_frame,
+    read_frame_async,
+    set_nodelay,
 )
 from .storage import NVMeDir, PFSDir
 
 __all__ = ["FTCacheServer", "ServerStats", "DataMoverPool"]
+
+#: max binary requests in flight per connection before the read loop
+#: stops pulling frames (pipelining backpressure, not a hard error)
+_PIPELINE_DEPTH = 64
 
 #: every monotone per-server counter, in one place so cluster aggregation,
 #: STAT responses, and snapshot dictionaries can never drift apart
@@ -67,6 +89,9 @@ STAT_COUNTER_KEYS = (
     "join_plans",
     "transfers_in",
     "transfer_bytes",
+    "binary_reqs",
+    "json_reqs",
+    "sendfile_serves",
 )
 
 
@@ -89,6 +114,11 @@ class ServerStats:
     join_plans: int = 0
     transfers_in: int = 0
     transfer_bytes: int = 0
+    #: wire-codec accounting: requests decoded per codec, and cache hits
+    #: served kernel-side via the zero-copy sendfile fast path
+    binary_reqs: int = 0
+    json_reqs: int = 0
+    sendfile_serves: int = 0
     _lock: threading.Lock = field(
         default_factory=partial(lockwitness.named_lock, "server-stats"), repr=False
     )
@@ -234,46 +264,16 @@ class DataMoverPool:
             t.join(timeout=max(0.1, deadline / max(1, len(self._threads))))
 
 
-class _Handler(socketserver.BaseRequestHandler):
-    server: "_TCPServer"
-
-    def setup(self) -> None:  # noqa: D102 - socketserver hook
-        self.server.owner._register_conn(self.request)
-
-    def finish(self) -> None:  # noqa: D102 - socketserver hook
-        self.server.owner._unregister_conn(self.request)
-
-    def handle(self) -> None:  # noqa: D102 - socketserver hook
-        owner: "FTCacheServer" = self.server.owner
-        try:
-            while True:
-                msg = recv_message(self.request)
-                if owner.dropped.is_set():
-                    # Hard failure: sever the connection mid-conversation.
-                    self.request.close()
-                    return
-                if owner.hung.is_set():
-                    # Drained node: swallow the request forever; the client's
-                    # TTL is the only way it learns anything (Sec IV-A).
-                    owner.hang_barrier.wait()
-                    return
-                response = owner.dispatch(msg)
-                sspan = owner.tracer.start_span("server.serialize", extract(msg.header),
-                                                nbytes=len(response.payload))
-                send_message(self.request, response)
-                sspan.end()
-        except (ConnectionError, OSError):
-            return  # client went away / server shutting down
-
-
-class _TCPServer(socketserver.ThreadingTCPServer):
-    daemon_threads = True
-    allow_reuse_address = True
-    owner: "FTCacheServer"
-
-
 class FTCacheServer:
-    """One node's cache daemon over a real TCP socket."""
+    """One node's cache daemon: an asyncio event loop over a real TCP socket.
+
+    The listening socket is bound synchronously in ``__init__`` (so
+    :attr:`address` is valid before :meth:`start`); :meth:`start` spawns
+    one thread running the event loop, which accepts connections, frames
+    requests (binary or JSON, auto-detected per message), and either
+    serves a binary READ cache hit inline via ``loop.sendfile`` or hands
+    the request to a bounded dispatch executor.
+    """
 
     def __init__(
         self,
@@ -285,6 +285,7 @@ class FTCacheServer:
         mover_workers: int = 2,
         mover_queue_depth: int = 64,
         tracer: Optional[Tracer] = None,
+        dispatch_workers: int = 4,
     ):
         self.node_id = node_id
         self.nvme = nvme
@@ -304,11 +305,35 @@ class FTCacheServer:
         self.telemetry.gauge("evictions", lambda: self.nvme.evictions)
         self.hung = threading.Event()
         self.dropped = threading.Event()
-        #: released only at shutdown so hung handlers can exit
+        #: released only at shutdown so hung handlers can exit (legacy name,
+        #: kept for chaos tooling; the loop-side twin is ``_hang_release``)
         self.hang_barrier = threading.Event()
-        self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
-        self._tcp.owner = self
+        if dispatch_workers < 1:
+            raise ValueError(f"dispatch_workers must be >= 1, got {dispatch_workers}")
+        # Bound before start() so callers can learn the ephemeral port —
+        # and so two servers can never race for it.  create_server sets
+        # SO_REUSEADDR, matching the old allow_reuse_address.
+        self._listen_sock = socket.create_server((host, port), backlog=256)
+        self._addr: tuple[str, int] = self._listen_sock.getsockname()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        #: loop-confined state (touched only from the loop thread, or via
+        #: call_soon_threadsafe): live StreamWriters, their handler tasks,
+        #: and the shutdown/hang events
+        self._writers: set = set()
+        self._conn_tasks: set = set()
+        self._aio_server: Optional[asyncio.base_events.Server] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._hang_release: Optional[asyncio.Event] = None
+        self._closed = False
+        #: blocking work (PFS reads, NVMe installs, STAT aggregation) runs
+        #: here, never on the event loop; the name prefix keeps these
+        #: threads inside the suite's leaked-thread allowance
+        self._executor = ThreadPoolExecutor(
+            max_workers=dispatch_workers,
+            thread_name_prefix=f"ftcache-server-{node_id}-exec",
+        )
         self.mover = DataMoverPool(
             nvme,
             self.stats,
@@ -318,10 +343,6 @@ class FTCacheServer:
             tracer=self.tracer,
             events=self.events,
         )
-        #: accepted connections, severed on close() so pooled client sockets
-        #: observe a restart instead of silently talking to a dead instance
-        self._conns: set[socket.socket] = set()
-        self._conns_lock = lockwitness.named_lock("server-conns")
         self._alive = False
         #: last OP_JOIN_PLAN announcement (None until this node is the
         #: target of an elastic join); single dict assignment, read-only
@@ -331,7 +352,7 @@ class FTCacheServer:
     # -- lifecycle -----------------------------------------------------------------
     @property
     def address(self) -> tuple[str, int]:
-        return self._tcp.server_address  # type: ignore[return-value]
+        return self._addr
 
     @property
     def alive(self) -> bool:
@@ -340,21 +361,60 @@ class FTCacheServer:
     def start(self) -> "FTCacheServer":
         if self._thread is not None:
             raise RuntimeError("server already started")
+        self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
-            target=self._tcp.serve_forever, name=f"ftcache-server-{self.node_id}", daemon=True
+            target=self._run_loop, name=f"ftcache-server-{self.node_id}", daemon=True
         )
         self._thread.start()
+        if not self._ready.wait(timeout=10):  # pragma: no cover - startup wedge
+            raise RuntimeError("server event loop failed to start")
         self._alive = True
         self.log.info("serving on %s:%d", *self.address)
         return self
 
-    def _register_conn(self, sock: socket.socket) -> None:
-        with self._conns_lock:
-            self._conns.add(sock)
+    def _run_loop(self) -> None:
+        loop = self._loop
+        assert loop is not None
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._serve_main())
+        finally:
+            # Mirror asyncio.run()'s teardown: cancel stragglers (pipelined
+            # handlers severed mid-write), then close the loop for real.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(asyncio.gather(*pending, return_exceptions=True))
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            asyncio.set_event_loop(None)
+            loop.close()
+            self._ready.set()  # unblock start() even if setup itself failed
 
-    def _unregister_conn(self, sock: socket.socket) -> None:
-        with self._conns_lock:
-            self._conns.discard(sock)
+    async def _serve_main(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._hang_release = asyncio.Event()
+        try:
+            self._aio_server = await asyncio.start_server(self._serve_conn, sock=self._listen_sock)
+        finally:
+            self._ready.set()
+        await self._stop_event.wait()
+        # Shutdown sequence: release hung handlers, stop accepting, then
+        # sever live connections so pooled client sockets observe the
+        # restart instead of silently talking to a dead instance.
+        self._hang_release.set()
+        server = self._aio_server
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        for writer in list(self._writers):
+            writer.transport.abort()
+        # Severed handlers see EOF/reset and return on their own; waiting
+        # for them here (instead of cancelling them in loop teardown)
+        # avoids 3.11's noisy cancelled-connection-task log callback.
+        pending = [t for t in self._conn_tasks if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=2.0)
 
     def kill(self, mode: str = "hang") -> None:
         """Simulate node failure.
@@ -370,34 +430,205 @@ class FTCacheServer:
             self.hung.set()
         else:
             self.dropped.set()  # live connections reset on next request
-            self._tcp.shutdown()
-            self._tcp.server_close()
+            self._close_listener()
+
+    def _close_listener(self) -> None:
+        """Close the accept socket, from whichever side owns it right now."""
+        loop = self._loop
+
+        def _do() -> None:
+            if self._aio_server is not None:
+                self._aio_server.close()  # closes the listen socket it wraps
+            else:  # pragma: no cover - loop up but server not yet created
+                self._listen_sock.close()
+
+        if loop is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(_do)
+                return
+            except RuntimeError:  # pragma: no cover - loop raced to a close
+                pass
+        try:
+            self._listen_sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
     def close(self) -> None:
         """Clean shutdown (not a failure simulation): stop the listener,
         sever accepted connections, and drain the data-mover pool."""
+        if self._closed:
+            return
+        self._closed = True
         self._alive = False
         self.hang_barrier.set()
-        try:
-            if self._thread is not None:
-                # shutdown() waits on the serve_forever loop; calling it on a
-                # never-started server would block forever.
-                self._tcp.shutdown()
-            self._tcp.server_close()
-        except OSError:  # pragma: no cover - already closed
-            pass
-        with self._conns_lock:
-            conns = list(self._conns)
-        for sock in conns:
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+
+            def _shutdown() -> None:
+                if self._hang_release is not None:
+                    self._hang_release.set()
+                if self._stop_event is not None:
+                    self._stop_event.set()
+
             try:
-                sock.shutdown(socket.SHUT_RDWR)
-            except OSError:
+                loop.call_soon_threadsafe(_shutdown)
+            except RuntimeError:  # pragma: no cover - loop raced to a close
                 pass
+            thread.join(timeout=10)
+        else:
+            # Never started: the pre-bound listener is ours to close.
             try:
-                sock.close()
+                self._listen_sock.close()
             except OSError:  # pragma: no cover
                 pass
+        self._executor.shutdown(wait=True)
         self.mover.close(drain=True)
+
+    # -- event-loop data plane --------------------------------------------------------
+    async def _serve_conn(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            set_nodelay(sock)
+        self._writers.add(writer)
+        self._conn_tasks.add(asyncio.current_task())
+        loop = asyncio.get_running_loop()
+        wlock = asyncio.Lock()  # one frame on the wire at a time
+        sem = asyncio.Semaphore(_PIPELINE_DEPTH)
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    msg, wire = await read_frame_async(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break  # client went away / server shutting down
+                except ProtocolError as exc:
+                    self.stats.bump(errors=1)
+                    self.log.warning("protocol error from %s: %s",
+                                     writer.get_extra_info("peername"), exc)
+                    break
+                if self.dropped.is_set():
+                    break  # hard failure: sever the connection mid-conversation
+                if self.hung.is_set():
+                    # Drained node: swallow the request until shutdown; the
+                    # client's TTL is the only way it learns anything (Sec IV-A).
+                    assert self._hang_release is not None
+                    await self._hang_release.wait()
+                    break
+                if wire == "binary":
+                    # Pipelined lane: every frame becomes its own task and
+                    # completes out of order, correlated by the echoed seq.
+                    self.stats.bump(binary_reqs=1)
+                    await sem.acquire()
+                    task = loop.create_task(self._handle_pipelined(msg, writer, wlock, sem))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                else:
+                    # Legacy lane: JSON frames keep the strict one-at-a-time,
+                    # in-order contract old clients were written against.
+                    self.stats.bump(json_reqs=1)
+                    if not await self._handle_one(msg, "json", writer, wlock):
+                        break
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            self._conn_tasks.discard(asyncio.current_task())
+            writer.transport.abort()
+
+    async def _handle_pipelined(self, msg: Message, writer, wlock, sem) -> None:
+        try:
+            await self._handle_one(msg, "binary", writer, wlock)
+        finally:
+            sem.release()
+
+    async def _handle_one(self, msg: Message, wire: str, writer, wlock) -> bool:
+        """Serve one framed request; False when the connection is unusable."""
+        loop = asyncio.get_running_loop()
+        try:
+            if wire == "binary" and msg.op == OP_READ:
+                if await self._serve_read_sendfile(msg, writer, wlock):
+                    return True
+            ctx = extract(msg.header)
+            qspan = self.tracer.start_span("server.exec_queue", ctx)
+
+            def _run() -> Message:
+                qspan.end()  # duration == decode→executor-pickup wait
+                return self.dispatch(msg)
+
+            response = await loop.run_in_executor(self._executor, _run)
+            sspan = self.tracer.start_span("server.serialize", ctx, nbytes=len(response.payload))
+            try:
+                if wire == "binary":
+                    head = encode_binary_response_header(msg.op, response, seq=msg.seq)
+                else:
+                    head = encode_json_frame(response)
+                async with wlock:
+                    writer.write(head)
+                    if response.payload:
+                        # Separate write: the framed payload is never copied
+                        # into a header+payload concatenation.
+                        writer.write(response.payload)
+                    await writer.drain()
+            finally:
+                sspan.end()
+            return True
+        except (ConnectionError, OSError):
+            return False  # client went away mid-response
+        except RuntimeError:
+            return False  # executor/transport torn down under us (shutdown)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # pragma: no cover - dispatch bug, not wire state
+            self.log.exception("unhandled error serving %s", msg.op)
+            self.stats.bump(errors=1)
+            return False
+
+    async def _serve_read_sendfile(self, msg: Message, writer, wlock) -> bool:
+        """Zero-copy fast path for a binary READ that hits the cache.
+
+        Returns True when the request was fully served from the loop (the
+        reply header + ``loop.sendfile`` of the NVMe entry); False sends
+        the caller down the normal dispatch path (miss, raced eviction,
+        or a malformed request).
+        """
+        path = msg.header.get("path", "")
+        if not path:
+            return False
+        entry = self.nvme.open_read(path)
+        if entry is None:
+            return False
+        f, size = entry
+        loop = asyncio.get_running_loop()
+        ctx = extract(msg.header)
+        t0 = time.perf_counter()
+        span = self.tracer.start_span("server.read", ctx, path=path, mode="sendfile", nbytes=size)
+        head = encode_binary_response_header(
+            OP_READ, Message.ok_response(source="cache"), seq=msg.seq, payload_len=size
+        )
+        try:
+            async with wlock:
+                writer.write(head)
+                await writer.drain()
+                if size:
+                    fspan = self.tracer.start_span("server.sendfile", span, nbytes=size)
+                    try:
+                        await loop.sendfile(writer.transport, f, count=size, fallback=True)
+                    except NotImplementedError:  # pragma: no cover - exotic loop
+                        writer.write(f.read(size))
+                        await writer.drain()
+                    fspan.end()
+        except (ConnectionError, OSError, RuntimeError):
+            # Request was consumed; the reader loop learns of the dead
+            # connection on its next frame.  RuntimeError: transport
+            # closed under sendfile during shutdown.
+            span.end(status="conn_error")
+            return True
+        finally:
+            f.close()
+        self.stats.bump(hits=1, sendfile_serves=1)
+        self.telemetry.observe("op_read_s", time.perf_counter() - t0)
+        span.end()
+        return True
 
     # -- request handling -----------------------------------------------------------
     def dispatch(self, msg: Message) -> Message:

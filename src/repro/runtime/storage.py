@@ -90,6 +90,27 @@ class NVMeDir:
                 self._lru.move_to_end(name)
         return data
 
+    def open_read(self, key: str):
+        """Open an installed entry for zero-copy serving: ``(file, size)``
+        or None when the entry is absent (miss, or lost the race to an
+        eviction).  The caller owns the file object and must close it.
+
+        The returned descriptor pins the inode, so a concurrent eviction
+        unlinking the entry mid-``sendfile`` is harmless — the bytes
+        stream from the still-open file.  The LRU refresh mirrors
+        :meth:`read`.
+        """
+        try:
+            f = self._path(key).open("rb")
+        except OSError:
+            return None
+        size = os.fstat(f.fileno()).st_size
+        with self._lock:  # LRU refresh on hit
+            name = _entry_name(key)
+            if name in self._lru:
+                self._lru.move_to_end(name)
+        return f, size
+
     def write(self, key: str, data: bytes) -> None:
         """Atomically install a cache entry, evicting LRU entries if needed.
 

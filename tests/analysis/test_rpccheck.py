@@ -179,6 +179,65 @@ class TestRPC000OpLiteralDrift:
         assert "OP_PURGE" in f.message
 
 
+PROTO = "src/repro/runtime/protocol_snippet.py"
+
+#: a well-formed binary op table matching the conforming pair above
+PROTO_OK = """
+    OP_READ = "READ"
+    OP_STAT = "STAT"
+
+    BIN_OPS = {
+        OP_READ: 1,
+        OP_STAT: 2,
+    }
+"""
+
+
+class TestBinaryOpTable:
+    def test_clean_table_baseline(self):
+        assert lint_project({PROTO: PROTO_OK, SERVER: SERVER_OK, CLIENT: CLIENT_OK}) == []
+
+    def test_table_entry_without_handler_or_sender(self):
+        # a table entry is a wire capability: decodable but unservable is
+        # RPC001, decodable but never produced is RPC002 — both anchored
+        # at the table entry, not at some unrelated dispatch line
+        proto = PROTO_OK.replace(
+            "OP_STAT: 2,", "OP_STAT: 2,\n        OP_PURGE: 3,"
+        ).replace('OP_STAT = "STAT"', 'OP_STAT = "STAT"\n    OP_PURGE = "PURGE"')
+        findings = lint_project({PROTO: proto, SERVER: SERVER_OK, CLIENT: CLIENT_OK})
+        f1 = only(findings, "RPC001")
+        f2 = only(findings, "RPC002")
+        assert "'PURGE'" in f1.message and f1.path == PROTO
+        assert "'PURGE'" in f2.message and f2.path == PROTO
+
+    def test_duplicate_wire_code_flagged(self):
+        proto = PROTO_OK.replace("OP_STAT: 2,", "OP_STAT: 1,")
+        f = only(
+            lint_project({PROTO: proto, SERVER: SERVER_OK, CLIENT: CLIENT_OK}), "RPC000"
+        )
+        assert "cannot tell the two ops apart" in f.message and f.path == PROTO
+
+    def test_non_integer_wire_code_flagged(self):
+        proto = PROTO_OK.replace("OP_STAT: 2,", 'OP_STAT: "2",')
+        f = only(
+            lint_project({PROTO: proto, SERVER: SERVER_OK, CLIENT: CLIENT_OK}), "RPC000"
+        )
+        assert "non-integer wire code" in f.message
+
+    def test_out_of_range_wire_code_flagged(self):
+        proto = PROTO_OK.replace("OP_STAT: 2,", "OP_STAT: 300,")
+        f = only(
+            lint_project({PROTO: proto, SERVER: SERVER_OK, CLIENT: CLIENT_OK}), "RPC000"
+        )
+        assert "8-bit op field" in f.message
+
+    def test_string_literal_table_key_flagged(self):
+        proto = PROTO_OK.replace("OP_READ: 1,", '"READ": 1,')
+        findings = lint_project({PROTO: proto, SERVER: SERVER_OK, CLIENT: CLIENT_OK})
+        f = only(findings, "RPC000")
+        assert "OP_READ" in f.message  # hints at the existing constant
+
+
 class TestHvacDataclassConformance:
     CLEAN = """
         from dataclasses import dataclass

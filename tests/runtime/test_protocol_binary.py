@@ -1,0 +1,543 @@
+"""Binary wire codec, the async server core, and the PR's bugfix sweep.
+
+Covers the fixed-header codec round trips, frame truncation at every
+byte offset in both codecs, the ``_MAX_PAYLOAD``/``_MAX_HEADER`` bounds
+(the 2**40 ``payload_len`` regression), per-message JSON↔binary
+negotiation on one socket, TCP_NODELAY on client and server sockets,
+the zero-copy vectored send (no header+payload concatenation), seq-echo
+pipelining with out-of-order completion, and the pipelined
+``read_many`` fast path.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runtime import LocalCluster, Message, recv_message, send_message
+from repro.runtime.client import FTCacheClient
+from repro.runtime.protocol import (
+    _MAX_EXT,
+    _MAX_HEADER,
+    _MAX_PAYLOAD,
+    BIN_MAGIC,
+    BIN_OPS,
+    OP_PUT,
+    OP_READ,
+    OP_TRANSFER,
+    ProtocolError,
+    encode_binary_request,
+    encode_binary_response_header,
+    encode_json_frame,
+    send_binary_request,
+    set_nodelay,
+)
+
+def _pump(sock: socket.socket):
+    """Decode one frame from ``sock`` on a reader thread; return
+    ``(thread, out, err)`` dicts the caller joins and inspects."""
+    out: dict = {}
+    err: dict = {}
+
+    def reader() -> None:
+        try:
+            out["msg"] = recv_message(sock)
+        except Exception as exc:  # surfaced via ``err`` in the test thread
+            err["exc"] = exc
+
+    t = threading.Thread(target=reader, name="binproto-reader", daemon=True)
+    t.start()
+    return t, out, err
+
+
+class TestBinaryRoundTrip:
+    def test_read_request_round_trips(self):
+        a, b = socket.socketpair()
+        try:
+            t, out, err = _pump(b)
+            msg = Message.request(OP_READ, path="/dataset/train/x.bin")
+            send_binary_request(a, msg, seq=7)
+            t.join(timeout=5)
+            assert not err, err
+            got = out["msg"]
+            assert got.op == OP_READ
+            assert got.header["path"] == "/dataset/train/x.bin"
+            assert got.seq == 7 and got.payload == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_put_request_carries_payload(self):
+        a, b = socket.socketpair()
+        try:
+            t, out, err = _pump(b)
+            msg = Message.request(OP_PUT, path="/k")
+            msg.payload = b"\x00\x01binary bytes\xff" * 100
+            send_binary_request(a, msg, seq=3)
+            t.join(timeout=5)
+            assert not err, err
+            got = out["msg"]
+            assert got.op == OP_PUT and got.payload == msg.payload and got.seq == 3
+        finally:
+            a.close()
+            b.close()
+
+    def test_trace_context_rides_the_ext_field(self):
+        a, b = socket.socketpair()
+        try:
+            t, out, err = _pump(b)
+            msg = Message.request(OP_READ, path="/k")
+            msg.header["trace_id"] = "0123456789abcdef"
+            msg.header["span_id"] = "fedcba98"
+            send_binary_request(a, msg)
+            t.join(timeout=5)
+            assert not err, err
+            got = out["msg"]
+            assert got.header["trace_id"] == "0123456789abcdef"
+            assert got.header["span_id"] == "fedcba98"
+        finally:
+            a.close()
+            b.close()
+
+    @pytest.mark.parametrize(
+        "resp, expect",
+        [
+            (Message.ok_response(payload=b"data", source="cache"), {"source": "cache"}),
+            (Message.ok_response(payload=b"data", source="pfs"), {"source": "pfs"}),
+        ],
+    )
+    def test_read_response_source_flag(self, resp, expect):
+        a, b = socket.socketpair()
+        try:
+            t, out, err = _pump(b)
+            a.sendall(encode_binary_response_header(OP_READ, resp, seq=9) + resp.payload)
+            t.join(timeout=5)
+            assert not err, err
+            got = out["msg"]
+            assert got.ok and got.seq == 9 and got.payload == b"data"
+            for k, v in expect.items():
+                assert got.header[k] == v
+        finally:
+            a.close()
+            b.close()
+
+    def test_transfer_response_carries_accept_and_queue_len(self):
+        resp = Message.ok_response(accepted=True, queue_len=17)
+        a, b = socket.socketpair()
+        try:
+            t, out, err = _pump(b)
+            a.sendall(encode_binary_response_header(OP_TRANSFER, resp, seq=1))
+            t.join(timeout=5)
+            assert not err, err
+            got = out["msg"]
+            assert got.header["accepted"] is True and got.header["queue_len"] == 17
+        finally:
+            a.close()
+            b.close()
+
+    def test_error_response_carries_reason_and_code(self):
+        resp = Message.error_response("no such file: /k", code="ENOENT")
+        a, b = socket.socketpair()
+        try:
+            t, out, err = _pump(b)
+            a.sendall(encode_binary_response_header(OP_READ, resp, seq=2))
+            t.join(timeout=5)
+            assert not err, err
+            got = out["msg"]
+            assert not got.ok
+            assert got.header["reason"] == "no such file: /k"
+            assert got.header["code"] == "ENOENT"
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_table_op_refused(self):
+        with pytest.raises(ProtocolError, match="binary op table"):
+            encode_binary_request(Message.request("STAT"))
+
+
+class TestTruncation:
+    """A frame cut at *every* byte offset must fail cleanly, never hang
+    or decode garbage."""
+
+    def _truncated_outcomes(self, frame: bytes):
+        for cut in range(len(frame)):
+            a, b = socket.socketpair()
+            try:
+                b.settimeout(5)
+                a.sendall(frame[:cut])
+                a.close()
+                with pytest.raises((ConnectionError, ProtocolError)):
+                    recv_message(b)
+            finally:
+                b.close()
+
+    def test_binary_frame_every_offset(self):
+        msg = Message.request(OP_PUT, path="/dataset/x.bin")
+        msg.payload = b"payload-bytes"
+        frame = encode_binary_request(msg, seq=5) + msg.payload
+        self._truncated_outcomes(frame)
+
+    def test_json_frame_every_offset(self):
+        msg = Message(header={"op": "STAT", "k": "v"}, payload=b"tail")
+        frame = encode_json_frame(msg) + msg.payload
+        self._truncated_outcomes(frame)
+
+
+class TestSizeBounds:
+    def test_json_payload_len_2_pow_40_rejected(self):
+        """Regression: a hostile payload_len used to drive _recv_exact
+        into a terabyte allocation; now it fails the frame."""
+        import json as _json
+
+        header = _json.dumps({"op": "READ", "payload_len": 2**40}).encode()
+        frame = len(header).to_bytes(4, "big") + header
+        a, b = socket.socketpair()
+        try:
+            a.sendall(frame)
+            with pytest.raises(ProtocolError, match="payload length"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_json_negative_payload_len_rejected(self):
+        import json as _json
+
+        header = _json.dumps({"payload_len": -1}).encode()
+        frame = len(header).to_bytes(4, "big") + header
+        a, b = socket.socketpair()
+        try:
+            a.sendall(frame)
+            with pytest.raises(ProtocolError, match="payload_len"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_json_oversized_header_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((_MAX_HEADER + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="header length"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_binary_oversized_payload_len_rejected(self):
+        good = bytearray(encode_binary_request(Message.request(OP_READ, path="/k")))
+        good[18:22] = (_MAX_PAYLOAD + 1).to_bytes(4, "big")  # payload_len field
+        a, b = socket.socketpair()
+        try:
+            a.sendall(bytes(good))
+            with pytest.raises(ProtocolError, match="payload length"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_binary_oversized_ext_len_rejected(self):
+        good = bytearray(encode_binary_request(Message.request(OP_READ, path="/k")))
+        good[8:10] = (_MAX_EXT + 1).to_bytes(2, "big")  # ext_len field
+        a, b = socket.socketpair()
+        try:
+            a.sendall(bytes(good))
+            with pytest.raises(ProtocolError, match="ext length"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_binary_bad_magic_rejected(self):
+        bad = b"\xf7\x00" + encode_binary_request(Message.request(OP_READ, path="/k"))[2:]
+        a, b = socket.socketpair()
+        try:
+            a.sendall(bad)
+            with pytest.raises(ProtocolError, match="magic"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_binary_unknown_op_code_rejected(self):
+        bad = bytearray(encode_binary_request(Message.request(OP_READ, path="/k")))
+        bad[4] = 0xEE  # op-code byte
+        a, b = socket.socketpair()
+        try:
+            a.sendall(bytes(bad))
+            with pytest.raises(ProtocolError, match="op code"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_payload_refused_at_send_time(self):
+        class Huge(bytes):
+            def __len__(self):
+                return _MAX_PAYLOAD + 1
+
+        msg = Message.request(OP_PUT, path="/k")
+        msg.payload = Huge()
+        with pytest.raises(ProtocolError, match="payload length"):
+            encode_binary_request(msg)
+        with pytest.raises(ProtocolError, match="payload length"):
+            encode_json_frame(Message(header={}, payload=Huge()))
+
+
+class _RecordingSock:
+    """Captures sendmsg iovecs so tests can assert zero-copy behaviour."""
+
+    def __init__(self):
+        self.calls: list = []
+
+    def sendmsg(self, bufs):
+        bufs = list(bufs)
+        self.calls.append(bufs)
+        return sum(len(b) for b in bufs)
+
+
+class TestVectoredSend:
+    def test_payload_is_its_own_iovec_not_a_copy(self):
+        """Regression: send_message used to concatenate len+header+payload,
+        doubling peak memory for every large response."""
+        payload = b"x" * 65536
+        sock = _RecordingSock()
+        send_message(sock, Message(header={"op": "READ"}, payload=payload))
+        assert len(sock.calls) == 1
+        bufs = sock.calls[0]
+        assert len(bufs) == 2  # header frame + payload, never joined
+        # the payload iovec is a view over the caller's buffer, not a copy
+        assert bufs[1].obj is payload
+        assert bufs[1].nbytes == len(payload)
+
+    def test_binary_request_payload_is_its_own_iovec(self):
+        payload = b"y" * 32768
+        msg = Message.request(OP_PUT, path="/k")
+        msg.payload = payload
+        sock = _RecordingSock()
+        send_binary_request(sock, msg, seq=1)
+        bufs = sock.calls[0]
+        assert bufs[-1].obj is payload
+
+    def test_partial_sendmsg_progresses(self):
+        class Trickle:
+            def __init__(self):
+                self.got = bytearray()
+
+            def sendmsg(self, bufs):
+                first = bytes(bufs[0])[:3]  # short write every call
+                self.got += first
+                return len(first)
+
+        sock = Trickle()
+        msg = Message(header={"a": 1}, payload=b"0123456789")
+        send_message(sock, msg)
+        frame = encode_json_frame(msg) + msg.payload
+        assert bytes(sock.got) == frame
+
+
+@pytest.fixture(scope="class")
+def cluster():
+    with LocalCluster(n_servers=3, policy="nvme", ttl=1.0, timeout_threshold=2) as c:
+        c.populate(n_files=16, file_bytes=4096, seed=7)
+        yield c
+
+
+class TestWireNegotiation:
+    """Both codecs interleave on one raw socket; the server answers each
+    request in the codec it arrived on."""
+
+    def test_json_then_binary_then_json_on_one_socket(self, cluster):
+        server = cluster.servers[0]
+        path = cluster.paths[0]
+        server.nvme.write(path, cluster.pfs.read(path))
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.settimeout(5)
+            # 1: legacy JSON PING
+            send_message(sock, Message.request("PING"))
+            resp = recv_message(sock)
+            assert resp.ok and resp.header["node_id"] == 0
+            # 2: binary READ (cache hit → sendfile fast path)
+            send_binary_request(sock, Message.request(OP_READ, path=path), seq=11)
+            resp = recv_message(sock)
+            assert resp.ok and resp.seq == 11
+            assert resp.header["source"] == "cache"
+            assert resp.payload == cluster.pfs.read(path)
+            # 3: JSON READ of the same key still answers in JSON
+            send_message(sock, Message.request("READ", path=path))
+            resp = recv_message(sock)
+            assert resp.ok and resp.seq == 0  # JSON frames carry no seq
+            assert resp.header["payload_len"] == len(resp.payload)
+        counters = server.stats.counters()
+        assert counters["binary_reqs"] >= 1 and counters["json_reqs"] >= 2
+        assert counters["sendfile_serves"] >= 1
+
+    def test_binary_read_miss_reports_pfs_source(self, cluster):
+        server = cluster.servers[0]
+        path = cluster.paths[1]
+        server.nvme.drop(path)
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.settimeout(5)
+            send_binary_request(sock, Message.request(OP_READ, path=path), seq=4)
+            resp = recv_message(sock)
+            assert resp.ok and resp.seq == 4
+            assert resp.header["source"] == "pfs"
+            assert resp.payload == cluster.pfs.read(path)
+
+    def test_binary_read_enoent_error(self, cluster):
+        server = cluster.servers[0]
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.settimeout(5)
+            send_binary_request(
+                sock, Message.request(OP_READ, path="/dataset/never/was.bin"), seq=6
+            )
+            resp = recv_message(sock)
+            assert not resp.ok and resp.seq == 6
+            assert resp.header["code"] == "ENOENT"
+
+
+class TestNodelay:
+    def test_server_sets_nodelay_on_accepted_conns(self, cluster):
+        server = cluster.servers[1]
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.settimeout(5)
+            send_message(sock, Message.request("PING"))
+            assert recv_message(sock).ok
+            accepted = [
+                w.get_extra_info("socket")
+                for w in list(server._writers)
+                if w.get_extra_info("socket") is not None
+            ]
+            assert accepted, "server tracked no live connection"
+            assert all(
+                s.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) == 1 for s in accepted
+            )
+
+    def test_client_pooled_socket_sets_nodelay(self, cluster):
+        client = cluster.client()
+        try:
+            client.read(cluster.paths[0])
+            pooled = list(client._pool.conns.values())
+            assert pooled, "client pooled no connection"
+            assert all(
+                p.sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) == 1
+                for p in pooled
+            )
+        finally:
+            client.close()
+
+    def test_set_nodelay_tolerates_non_tcp_sockets(self):
+        a, b = socket.socketpair()  # AF_UNIX: TCP_NODELAY is invalid here
+        try:
+            set_nodelay(a)  # must not raise
+        finally:
+            a.close()
+            b.close()
+
+
+class TestPipelining:
+    def test_out_of_order_completion_matched_by_seq(self):
+        """A cached READ behind a slow PFS miss completes first; the seq
+        echo is what keeps the responses attributable."""
+        with LocalCluster(
+            n_servers=1, policy="nvme", ttl=5.0, timeout_threshold=3, pfs_read_delay=0.25
+        ) as c:
+            c.populate(n_files=2, file_bytes=2048, seed=3)
+            slow, fast = c.paths[0], c.paths[1]
+            server = c.servers[0]
+            server.nvme.write(fast, c.pfs.read(fast))  # pre-cache the fast key
+            with socket.create_connection(server.address, timeout=5) as sock:
+                sock.settimeout(5)
+                send_binary_request(sock, Message.request(OP_READ, path=slow), seq=1)
+                send_binary_request(sock, Message.request(OP_READ, path=fast), seq=2)
+                first = recv_message(sock)
+                second = recv_message(sock)
+            assert first.seq == 2, "cache hit should overtake the PFS miss"
+            assert second.seq == 1
+            assert first.payload == c.pfs.read(fast)
+            assert second.payload == c.pfs.read(slow)
+
+    def test_read_many_pipelines_same_owner_batches(self, cluster):
+        client = cluster.client()
+        try:
+            expected = [cluster.pfs.read(p) for p in cluster.paths]
+            got = client.read_many(list(cluster.paths))
+            assert got == expected
+            assert client.stats["pipelined_reads"] > 0
+            got2 = client.read_many(list(cluster.paths))  # now mostly cache hits
+            assert got2 == expected
+        finally:
+            client.close()
+
+    def test_read_many_missing_file_raises(self, cluster):
+        client = cluster.client()
+        try:
+            from repro.runtime import ReadError
+
+            with pytest.raises(ReadError, match="no such file"):
+                client.read_many([cluster.paths[0], "/dataset/train/nope.bin"])
+        finally:
+            client.close()
+
+    def test_read_many_json_wire_falls_back_to_sequential(self, cluster):
+        client = FTCacheClient(
+            servers={i: s.address for i, s in cluster.servers.items()},
+            policy=cluster.make_policy(),
+            pfs=cluster.pfs,
+            ttl=1.0,
+            wire="json",
+        )
+        try:
+            got = client.read_many(list(cluster.paths[:4]))
+            assert got == [cluster.pfs.read(p) for p in cluster.paths[:4]]
+            assert client.stats["pipelined_reads"] == 0
+        finally:
+            client.close()
+
+
+class TestJsonWireEndToEnd:
+    def test_json_cluster_serves_and_survives_kill(self):
+        with LocalCluster(
+            n_servers=3, policy="nvme", ttl=0.3, timeout_threshold=2, wire="json"
+        ) as c:
+            c.populate(n_files=12, file_bytes=1024, seed=5)
+            client = c.client()
+            assert client.wire == "json"
+            for p in c.paths:
+                assert client.read(p) == c.pfs.read(p)
+            stats = c.total_stats()
+            assert stats["json_reqs"] > 0
+            assert stats["binary_reqs"] == 0 and stats["sendfile_serves"] == 0
+            victim = c.owner_of(c.paths[0], client.policy)
+            c.kill_server(victim, mode="hang")
+            assert client.read(c.paths[0]) == c.pfs.read(c.paths[0])
+
+
+class TestBinaryWireEndToEnd:
+    def test_kill_restart_over_binary_wire(self):
+        with LocalCluster(n_servers=3, policy="nvme", ttl=0.3, timeout_threshold=2) as c:
+            c.populate(n_files=12, file_bytes=1024, seed=6)
+            client = c.client()
+            assert client.wire == "binary"
+            for p in c.paths:
+                client.read(p)
+            victim = c.owner_of(c.paths[0], client.policy)
+            c.kill_server(victim, mode="drop")
+            assert client.read(c.paths[0]) == c.pfs.read(c.paths[0])
+            c.restart_server(victim)
+            for p in c.paths:
+                assert client.read(p) == c.pfs.read(p)
+            stats = c.total_stats()
+            assert stats["binary_reqs"] > 0
+
+    def test_sendfile_payload_integrity_large_entry(self):
+        with LocalCluster(n_servers=1, policy="nvme", ttl=2.0) as c:
+            c.populate(n_files=2, file_bytes=1 << 20, seed=9)  # 1 MiB entries
+            client = c.client()
+            first = client.read(c.paths[0])  # miss: executor path
+            time.sleep(0.3)  # let the mover install the entry
+            second = client.read(c.paths[0])  # hit: sendfile path
+            assert first == second == c.pfs.read(c.paths[0])
+            assert c.total_stats()["sendfile_serves"] >= 1

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.runtime import Message, recv_message, send_message
+from repro.runtime.protocol import BIN_OPS, send_binary_request
 
 _header_values = st.recursive(
     st.none() | st.booleans() | st.integers(min_value=-(2**31), max_value=2**31)
@@ -65,6 +66,37 @@ class TestProtocolRoundTrip:
                 send_message(a, Message(header={"i": i}, payload=p))
             t.join(timeout=5)
             assert received == payloads
+        finally:
+            a.close()
+            b.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        op=st.sampled_from(sorted(BIN_OPS)),
+        path=st.text(max_size=200).filter(lambda s: len(s.encode("utf-8")) <= 0xFFFF),
+        payload=st.binary(max_size=4096),
+        seq=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_binary_request_round_trips(self, op, path, payload, seq):
+        a, b = socket.socketpair()
+        try:
+            out = {}
+
+            def reader():
+                out["msg"] = recv_message(b)
+
+            t = threading.Thread(target=reader, name="fuzz-bin-reader", daemon=True)
+            t.start()
+            msg = Message.request(op, path=path)
+            msg.payload = payload
+            send_binary_request(a, msg, seq=seq)
+            t.join(timeout=5)
+            assert not t.is_alive()
+            got = out["msg"]
+            assert got.op == op
+            assert got.header["path"] == path
+            assert got.payload == payload
+            assert got.seq == seq
         finally:
             a.close()
             b.close()
